@@ -1,0 +1,66 @@
+"""Ablation: BCSR block shape (design choice of Section IV-B).
+
+The paper fixes the block shape to the MMA tile of the chosen precision
+(16 x 8 for FP16) and argues the block dimensions must match the MMA API.
+This ablation quantifies the trade-off behind that choice: smaller blocks
+reduce padding (fewer wasted FLOPs) but increase the block count and the
+per-block overheads; larger blocks amortise overheads but waste Tensor-
+Core work on padding zeros.
+"""
+
+import pytest
+
+from repro.formats import BCSRMatrix
+from repro.kernels import SMaTKernel
+from repro.matrices import suitesparse
+
+from common import dense_rhs, print_figure
+
+BLOCK_SHAPES = [(8, 8), (16, 8), (16, 16), (32, 16), (32, 32)]
+MATRICES = ["cop20k_A", "consph"]
+N_COLS = 8
+
+
+@pytest.mark.benchmark(group="ablation_block_shape")
+def test_ablation_block_shape(benchmark, bench_scale):
+    matrices = {name: suitesparse.load(name, scale=bench_scale) for name in MATRICES}
+
+    def run_default():
+        A = matrices["cop20k_A"]
+        return SMaTKernel(block_shape=(16, 8)).multiply(A, dense_rhs(A.ncols, N_COLS))
+
+    benchmark(run_default)
+
+    rows = []
+    best = {}
+    for name, A in matrices.items():
+        B = dense_rhs(A.ncols, N_COLS)
+        for shape in BLOCK_SHAPES:
+            bcsr = BCSRMatrix.from_csr(A, shape)
+            result = SMaTKernel(block_shape=shape).multiply(A, B)
+            rows.append(
+                {
+                    "matrix": name,
+                    "block_shape": f"{shape[0]}x{shape[1]}",
+                    "n_blocks": bcsr.n_blocks,
+                    "fill_in": bcsr.fill_in_ratio,
+                    "gflops": result.gflops,
+                    "time_ms": result.time_ms,
+                }
+            )
+            key = (name,)
+            if key not in best or result.gflops > best[key][1]:
+                best[key] = (shape, result.gflops)
+
+    print_figure(
+        "Ablation -- BCSR block shape vs padding, block count and performance",
+        rows,
+    )
+    print("best block shape per matrix:", {k[0]: v[0] for k, v in best.items()})
+    benchmark.extra_info["rows"] = rows
+
+    # structural invariants of the trade-off
+    for name in MATRICES:
+        by_shape = {r["block_shape"]: r for r in rows if r["matrix"] == name}
+        assert by_shape["8x8"]["n_blocks"] >= by_shape["32x32"]["n_blocks"]
+        assert by_shape["8x8"]["fill_in"] <= by_shape["32x32"]["fill_in"]

@@ -1,0 +1,90 @@
+"""Figure 2: performance model vs measurement for the optimisation ladder.
+
+The paper validates its linear runtime model ``T = T_e * n_e + T_init``
+(Eq. 1) on 16k x 16k band matrices with bandwidth 64..4096, for the kernel
+variants naive / B / T / BT / CBT, and reports the speedup of each variant
+over the naive kernel (up to 2x for B, 12x for T, 20x for BT, 22x for
+CBT).
+
+This benchmark reproduces both parts: for every variant it sweeps the
+bandwidth, fits Eq. 1 on the simulated runtimes, and reports the fit
+quality and the variant-over-naive speedups.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearPerformanceModel
+from repro.kernels import SMaTKernel
+from repro.matrices import band_matrix
+
+from common import dense_rhs, print_figure
+
+VARIANTS = ["naive", "B", "T", "BT", "CBT"]
+N_COLS = 8
+
+
+@pytest.fixture(scope="module")
+def band_sweep(band_n, bench_rng):
+    """Band matrices with bandwidth 64..min(4096, n/4), as in Figure 2."""
+    bandwidths = [b for b in (64, 128, 256, 512, 1024, 2048, 4096) if b <= band_n // 4]
+    matrices = {b: band_matrix(band_n, b, rng=bench_rng) for b in bandwidths}
+    B = dense_rhs(band_n, N_COLS)
+    return bandwidths, matrices, B
+
+
+@pytest.mark.benchmark(group="fig02")
+def test_fig02_variant_ladder_and_model_fit(benchmark, band_sweep, band_n):
+    bandwidths, matrices, B = band_sweep
+
+    def run_cbt_once():
+        return SMaTKernel(variant="CBT").multiply(matrices[bandwidths[0]], B)
+
+    benchmark(run_cbt_once)
+
+    # sweep every variant over every bandwidth
+    times = {v: [] for v in VARIANTS}
+    blocks = []
+    for b in bandwidths:
+        A = matrices[b]
+        for v in VARIANTS:
+            result = SMaTKernel(variant=v).multiply(A, B)
+            times[v].append(result.timing.time_s)
+            if v == "CBT":
+                blocks.append(result.counters.extra["n_blocks"])
+
+    rows = []
+    for i, b in enumerate(bandwidths):
+        row = {"bandwidth": b, "n_blocks": int(blocks[i])}
+        for v in VARIANTS:
+            row[f"{v}_us"] = times[v][i] * 1e6
+        row["speedup_CBT_vs_naive"] = times["naive"][i] / times["CBT"][i]
+        rows.append(row)
+    print_figure(f"Figure 2 -- optimisation ladder on {band_n}x{band_n} band matrices (N=8)", rows)
+
+    # Eq. 1 fit per variant
+    fit_rows = []
+    for v in VARIANTS:
+        fit = LinearPerformanceModel().fit(blocks, times[v])
+        fit_rows.append(
+            {
+                "variant": v,
+                "T_e_ns_per_block": fit.t_e * 1e9,
+                "T_init_us": fit.t_init * 1e6,
+                "r_squared": fit.r_squared,
+                "max_speedup_vs_naive": max(
+                    tn / tv for tn, tv in zip(times["naive"], times[v])
+                ),
+            }
+        )
+    print_figure("Figure 2 -- Eq. 1 fit per variant (paper: B<=2x, T<=12x, BT<=20x, CBT<=22x vs naive)", fit_rows)
+
+    benchmark.extra_info["ladder"] = rows
+    benchmark.extra_info["fits"] = fit_rows
+
+    # qualitative checks mirroring the paper's claims
+    for fit_row in fit_rows:
+        assert fit_row["r_squared"] > 0.9, "Eq. 1 must describe the simulated kernel"
+    by_name = {r["variant"]: r["max_speedup_vs_naive"] for r in fit_rows}
+    assert by_name["CBT"] >= by_name["BT"] >= by_name["T"] >= 1.0
+    assert by_name["CBT"] > 3.0

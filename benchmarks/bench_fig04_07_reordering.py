@@ -1,0 +1,63 @@
+"""Figures 4-7: effect of reordering on each library's performance.
+
+The paper measures every library (SMaT, DASP, Magicube, cuSPARSE) on the
+nine Table-I matrices under three orderings: the original matrix ("base"),
+after Jaccard row permutation ("row"), and after row+column permutation.
+SMaT benefits most from the reduced block count; the baselines see smaller
+(sometimes negative) effects.
+
+One benchmark per library regenerates the corresponding figure's series.
+"""
+
+import pytest
+
+from repro.matrices import suitesparse
+
+from common import dense_rhs, print_figure, reordering_sweep
+
+N_COLS = 8
+#: subset of Table I used for the per-library reordering sweep (keeps the
+#: default benchmark run short; set REPRO_BENCH_SCALE and extend if needed)
+MATRICES = ["mip1", "cant", "cop20k_A", "consph", "dc2", "conf5_4-8x8"]
+
+FIGURE_BY_LIBRARY = {
+    "smat": "Figure 4 (SMaT)",
+    "dasp": "Figure 5 (DASP)",
+    "magicube": "Figure 6 (Magicube)",
+    "cusparse": "Figure 7 (cuSPARSE)",
+}
+
+
+def _sweep_library(library: str, bench_scale: float):
+    rows = []
+    for name in MATRICES:
+        A = suitesparse.load(name, scale=bench_scale)
+        B = dense_rhs(A.ncols, N_COLS)
+        gflops = reordering_sweep(A, B, library)
+        rows.append({"matrix": name, **{k: v for k, v in gflops.items()}})
+    return rows
+
+
+@pytest.mark.parametrize("library", ["smat", "dasp", "magicube", "cusparse"])
+@pytest.mark.benchmark(group="fig04_07")
+def test_fig04_07_reordering_effect(benchmark, bench_scale, library):
+    A = suitesparse.load("cop20k_A", scale=bench_scale)
+    B = dense_rhs(A.ncols, N_COLS)
+    benchmark(lambda: reordering_sweep(A, B, library))
+
+    rows = _sweep_library(library, bench_scale)
+    print_figure(
+        f"{FIGURE_BY_LIBRARY[library]} -- GFLOP/s per ordering (base / row / row+column)",
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+
+    if library == "smat":
+        by_name = {r["matrix"]: r for r in rows}
+        # row reordering helps SMaT on the shuffled mesh matrix...
+        assert by_name["cop20k_A"]["row"] > by_name["cop20k_A"]["base"]
+        # ...and is safely skippable on the already-banded conf5 (the paper
+        # notes reordering *hurts* conf5; our pipeline would skip it, but the
+        # raw sweep applies it unconditionally, so just require it not to
+        # help much)
+        assert by_name["conf5_4-8x8"]["row"] <= by_name["conf5_4-8x8"]["base"] * 1.2

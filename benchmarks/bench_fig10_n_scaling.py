@@ -1,0 +1,49 @@
+"""Figure 10: wall-clock time vs the dense dimension N on cop20k_A.
+
+The paper varies the number of columns N of the dense matrix B for the
+sparse matrix cop20k_A and reports wall-clock time per library: DASP is
+the fastest at N=1 (pure SpMV) but degrades linearly; cuSPARSE also
+degrades; SMaT and Magicube grow slowly, and at N=1000 SMaT is 1.73x /
+4.24x / 8.60x faster than Magicube / DASP / cuSPARSE.
+"""
+
+import pytest
+
+from repro.matrices import suitesparse
+
+from common import dense_rhs, measure_libraries, print_figure
+
+LIBRARIES = ("smat", "dasp", "magicube", "cusparse")
+N_VALUES = [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_wallclock_vs_n(benchmark, bench_scale):
+    A = suitesparse.load("cop20k_A", scale=bench_scale)
+
+    benchmark(lambda: measure_libraries(A, dense_rhs(A.ncols, 8), libraries=("smat",)))
+
+    rows = []
+    series = {}
+    for n in N_VALUES:
+        B = dense_rhs(A.ncols, n)
+        res = measure_libraries(A, B, libraries=LIBRARIES)
+        series[n] = res
+        rows.append({"N": n, **{lib: res[lib]["time_ms"] for lib in res}})
+    print_figure(
+        "Figure 10 -- wall-clock time [ms] vs N on cop20k_A "
+        "(paper: DASP fastest at N=1; SMaT fastest for large N)",
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+
+    largest = N_VALUES[-1]
+    # DASP wins (or ties) the SpMV case...
+    assert series[1]["DASP"]["time_ms"] <= series[1]["SMaT"]["time_ms"] * 1.05
+    # ...but scales linearly with N while SMaT does not, so SMaT wins at the
+    # other end of the sweep, against every baseline
+    for lib in ("DASP", "Magicube", "cuSPARSE"):
+        assert series[largest]["SMaT"]["time_ms"] < series[largest][lib]["time_ms"], lib
+    dasp_growth = series[largest]["DASP"]["time_ms"] / series[1]["DASP"]["time_ms"]
+    smat_growth = series[largest]["SMaT"]["time_ms"] / series[1]["SMaT"]["time_ms"]
+    assert dasp_growth > 2.0 * smat_growth

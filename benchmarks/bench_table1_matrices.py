@@ -1,0 +1,49 @@
+"""Table I: the nine SuiteSparse matrices and their properties.
+
+Regenerates the paper's Table I from the synthetic stand-ins: for each
+matrix it reports the paper's size/nnz/sparsity next to the stand-in's
+values, plus the BCSR block statistics the rest of the evaluation depends
+on.  Run with ``pytest benchmarks/bench_table1_matrices.py -s`` to see the
+table.
+"""
+
+import pytest
+
+from repro.formats import BCSRMatrix
+from repro.matrices import suitesparse
+
+from common import print_figure
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_matrix_inventory(benchmark, bench_scale):
+    def build_all():
+        return {
+            meta.name: suitesparse.load(meta.name, scale=bench_scale)
+            for meta in suitesparse.TABLE1
+        }
+
+    matrices = benchmark(build_all)
+
+    rows = []
+    for meta in suitesparse.TABLE1:
+        m = matrices[meta.name]
+        bcsr = BCSRMatrix.from_csr(m, (16, 8))
+        rows.append(
+            {
+                "name": meta.name,
+                "domain": meta.domain,
+                "paper_size": f"{meta.nrows}x{meta.ncols}",
+                "paper_nnz": meta.nnz,
+                "paper_sparsity_%": 100 * meta.sparsity,
+                "standin_size": f"{m.nrows}x{m.ncols}",
+                "standin_nnz": m.nnz,
+                "standin_sparsity_%": 100 * m.sparsity,
+                "bcsr_blocks": bcsr.n_blocks,
+                "fill_in": bcsr.fill_in_ratio,
+            }
+        )
+    print_figure("Table I -- SuiteSparse matrices (paper vs stand-in)", rows)
+
+    benchmark.extra_info["rows"] = rows
+    assert len(rows) == 9

@@ -1,0 +1,107 @@
+"""Shared measurement helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro import SMaT, SMaTConfig, compare_libraries
+from repro.analysis import format_table
+from repro.formats import CSRMatrix
+from repro.matrices import suitesparse
+
+__all__ = [
+    "dense_rhs",
+    "measure_libraries",
+    "reordering_sweep",
+    "print_figure",
+    "load_standins",
+]
+
+#: library display order used throughout the figures
+LIBRARY_ORDER = ("SMaT", "DASP", "Magicube", "cuSPARSE", "cuBLAS")
+
+
+def dense_rhs(K: int, n_cols: int, seed: int = 0) -> np.ndarray:
+    """The dense right-hand side matrix B used by all experiments."""
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(K, n_cols)).astype(np.float32)
+
+
+def load_standins(names: Iterable[str], scale: float) -> Dict[str, CSRMatrix]:
+    """Load (generate) the requested Table-I stand-ins."""
+    return {name: suitesparse.load(name, scale=scale) for name in names}
+
+
+def measure_libraries(
+    A: CSRMatrix,
+    B: np.ndarray,
+    *,
+    libraries: Sequence[str] = ("smat", "dasp", "magicube", "cusparse"),
+    config: SMaTConfig | None = None,
+) -> Dict[str, Dict[str, float]]:
+    """Run one problem through the requested libraries and return
+    ``{library: {gflops, time_ms, supported}}``."""
+    results = compare_libraries(
+        A, B, libraries=libraries, config=config, check_correctness=False
+    )
+    return {
+        r.library: {
+            "gflops": r.gflops,
+            "time_ms": r.time_ms,
+            "supported": r.supported,
+        }
+        for r in results
+    }
+
+
+def reordering_sweep(
+    A: CSRMatrix,
+    B: np.ndarray,
+    library: str,
+    *,
+    config_base: SMaTConfig | None = None,
+) -> Dict[str, float]:
+    """GFLOP/s of one library under the three preprocessing settings of
+    Figures 4-7: the original ordering ("base"), row permutation ("row")
+    and row+column permutation ("row+column").
+
+    For SMaT the permutation is applied through its own pipeline; for the
+    baselines the permuted matrix is handed to the library unchanged, which
+    mirrors the paper's protocol (each library still applies its own
+    internal preprocessing).
+    """
+    from repro.reorder import JaccardReorderer
+
+    out: Dict[str, float] = {}
+    reorderer_row = JaccardReorderer(block_shape=(16, 8))
+    reorderer_rc = JaccardReorderer(block_shape=(16, 8), permute_columns=True)
+
+    variants = {
+        "base": (A, B),
+        "row": (A.permute_rows(reorderer_row.reorder(A, with_stats=False).row_perm), B),
+    }
+    rc = reorderer_rc.reorder(A, with_stats=False)
+    A_rc = A.permute_rows(rc.row_perm).permute_cols(rc.col_perm)
+    variants["row+column"] = (A_rc, B[rc.col_perm])
+
+    for label, (A_v, B_v) in variants.items():
+        if library.lower() == "smat":
+            # reordering already applied externally; disable internal pass
+            cfg = config_base or SMaTConfig()
+            cfg = SMaTConfig(
+                precision=cfg.precision, reorder="identity", variant=cfg.variant, arch=cfg.arch
+            )
+            res = measure_libraries(A_v, B_v, libraries=("smat",), config=cfg)
+            out[label] = res["SMaT"]["gflops"]
+        else:
+            res = measure_libraries(A_v, B_v, libraries=(library,))
+            out[label] = next(iter(res.values()))["gflops"]
+    return out
+
+
+def print_figure(title: str, rows, columns=None) -> None:
+    """Print one regenerated table/figure (visible with ``pytest -s``)."""
+    print()
+    print(format_table(rows, columns=columns, title=title))

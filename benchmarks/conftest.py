@@ -1,0 +1,67 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it computes
+the same series the figure plots (simulated GFLOP/s or wall-clock per
+library), prints it as a text table (run pytest with ``-s`` to see it),
+and stores the series in the pytest-benchmark ``extra_info`` so it also
+lands in ``--benchmark-json`` output.  The pytest-benchmark timer measures
+the host-side cost of one representative simulated kernel invocation.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_SCALE``
+    Dimension scale of the SuiteSparse stand-ins (default ``0.12``; use
+    ``1.0`` to regenerate the full-size Table-I matrices -- slower but
+    closer to the paper's absolute block counts).
+``REPRO_BENCH_BAND_N``
+    Dimension of the synthetic band matrices (default ``4096``; the paper
+    uses ``16384``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def _float_env(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+#: dimension scale of the SuiteSparse stand-ins
+BENCH_SCALE: float = _float_env("REPRO_BENCH_SCALE", 0.12)
+#: dimension of the synthetic band matrices (paper: 16384)
+BAND_N: int = int(_float_env("REPRO_BENCH_BAND_N", 4096))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def band_n() -> int:
+    return BAND_N
+
+
+@pytest.fixture(scope="session")
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(2024)
+
+
+def pytest_report_header(config):
+    return (
+        f"SMaT reproduction benchmarks: suite-sparse scale={BENCH_SCALE}, "
+        f"band dimension={BAND_N} (paper: scale=1.0, 16384)"
+    )

@@ -1,0 +1,14 @@
+"""Pytest configuration.
+
+Adds ``src/`` to ``sys.path`` so the test and benchmark suites run even
+when the package has not been installed (useful in offline environments
+where ``pip install -e .`` cannot build an editable wheel; see README
+"Installation").
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Reordering study: how much do the preprocessing algorithms help?
+
+The paper's preprocessing step (Section IV-C) permutes the rows of the
+sparse matrix to pack its non-zeros into fewer BCSR blocks.  This example
+compares every implemented reordering algorithm (Jaccard clustering --
+SMaT's default -- plus Reverse Cuthill-McKee, Saad's grouping, Gray-code
+ordering and hypergraph-style bisection) on two very different matrices:
+
+* an optimisation-style matrix with hidden row clusters (``mip1``-like),
+  where reordering pays off, and
+* a lattice-QCD block band matrix (``conf5``-like), which is already
+  optimally ordered and where reordering can only hurt.
+
+Run:  python examples/reordering_study.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import SMaT, SMaTConfig
+from repro.analysis import format_table
+from repro.matrices import block_band_matrix, hidden_cluster_matrix
+from repro.reorder import available_reorderers, get_reorderer
+
+BLOCK_SHAPE = (16, 8)
+ALGORITHMS = ["identity", "jaccard", "saad", "rcm", "graycode", "hypergraph"]
+
+
+def study(name: str, A, B) -> None:
+    rows = []
+    for algo in ALGORITHMS:
+        reorderer = get_reorderer(algo, block_shape=BLOCK_SHAPE)
+        start = time.perf_counter()
+        result = reorderer.reorder(A)
+        preprocess_s = time.perf_counter() - start
+
+        smat = SMaT(A, SMaTConfig(reorder=algo, auto_skip_reordering=False))
+        _, report = smat.multiply(B, return_report=True)
+        rows.append(
+            {
+                "algorithm": algo,
+                "blocks": result.stats_after.n_blocks,
+                "reduction": result.block_reduction,
+                "std_blocks_per_row": result.stats_after.std_blocks_per_row,
+                "SMaT_GFLOPs": report.gflops,
+                "preprocess_s": preprocess_s,
+            }
+        )
+    print()
+    print(format_table(rows, title=f"Reordering study -- {name}"))
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    clustered = hidden_cluster_matrix(
+        4096, 4096, cluster_size=16, segments_per_cluster=12, segment_width=8,
+        row_fill=0.8, shuffle=True, rng=rng,
+    )
+    B1 = rng.normal(size=(clustered.ncols, 8)).astype(np.float32)
+    study("optimisation-style matrix with hidden row clusters (mip1-like)",
+          clustered, B1)
+
+    banded = block_band_matrix(4096, block_size=8, block_bandwidth=2, rng=rng)
+    B2 = rng.normal(size=(banded.ncols, 8)).astype(np.float32)
+    study("lattice-QCD block band matrix (conf5-like, already well ordered)",
+          banded, B2)
+
+    print(f"\navailable algorithms: {available_reorderers()}")
+    print("Note how the identity ordering is already optimal for the band "
+          "matrix -- SMaT's pipeline detects this and skips the permutation "
+          "(auto_skip_reordering).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Result analysis and reporting utilities used by the benchmarks."""
+
+from .export import measurements_to_rows, rows_to_csv, rows_to_json
+from .report import format_speedup_summary, format_table, series_to_rows
+from .stats import (
+    DistributionSummary,
+    coefficient_of_variation,
+    distribution_summary,
+    geometric_mean,
+    histogram,
+    speedup_summary,
+)
+
+__all__ = [
+    "rows_to_csv",
+    "rows_to_json",
+    "measurements_to_rows",
+    "format_table",
+    "format_speedup_summary",
+    "series_to_rows",
+    "geometric_mean",
+    "coefficient_of_variation",
+    "speedup_summary",
+    "DistributionSummary",
+    "distribution_summary",
+    "histogram",
+]

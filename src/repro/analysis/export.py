@@ -1,0 +1,73 @@
+"""Export of benchmark series to CSV / JSON.
+
+The benchmark harness prints its regenerated tables as text; downstream
+users typically want the underlying series in a machine-readable form to
+plot their own versions of the paper's figures.  These helpers write the
+row dictionaries produced by the benchmarks (and by
+:func:`repro.core.compare_libraries`) to CSV or JSON without any extra
+dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence, Union
+
+__all__ = ["rows_to_csv", "rows_to_json", "measurements_to_rows"]
+
+PathLike = Union[str, Path]
+
+
+def _collect_columns(rows: Sequence[Mapping[str, object]]) -> list[str]:
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]], path: PathLike) -> Path:
+    """Write a list of row dictionaries to ``path`` as CSV.
+
+    Columns are the union of all keys, in first-seen order; missing values
+    are left empty.  Returns the path written.
+    """
+    rows = list(rows)
+    path = Path(path)
+    columns = _collect_columns(rows)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in columns})
+    return path
+
+
+def rows_to_json(rows: Sequence[Mapping[str, object]], path: PathLike, *, indent: int = 2) -> Path:
+    """Write a list of row dictionaries to ``path`` as a JSON array."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(list(rows), fh, indent=indent, default=float)
+        fh.write("\n")
+    return path
+
+
+def measurements_to_rows(measurements: Iterable) -> list[dict]:
+    """Convert :class:`~repro.core.comparison.LibraryMeasurement` objects
+    into flat row dictionaries suitable for :func:`rows_to_csv`."""
+    rows = []
+    for m in measurements:
+        rows.append(
+            {
+                "library": m.library,
+                "gflops": m.gflops,
+                "time_ms": m.time_ms,
+                "supported": m.supported,
+                "correct": m.correct,
+                "error": m.error or "",
+            }
+        )
+    return rows

@@ -1,0 +1,114 @@
+"""Plain-text report formatting for the benchmark harness.
+
+The benchmark scripts print the same rows/series the paper's tables and
+figures contain.  These helpers render aligned text tables and the
+per-library speedup summaries of Section VI-B without any plotting
+dependency (the environment has no display), so every figure is
+regenerated as a table of its underlying series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .stats import geometric_mean
+
+__all__ = ["format_table", "format_speedup_summary", "series_to_rows"]
+
+
+def _fmt(value, float_fmt: str) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if value == float("inf"):
+            return "inf"
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    float_fmt: str = ".3g",
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_fmt(r.get(c, ""), float_fmt) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), *(len(row[i]) for row in rendered)) for i, c in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_speedup_summary(
+    smat_times: Mapping[str, float],
+    baseline_times: Mapping[str, Mapping[str, float]],
+    *,
+    float_fmt: str = ".3g",
+) -> str:
+    """Per-baseline speedup summary across a set of matrices.
+
+    Parameters
+    ----------
+    smat_times:
+        matrix name -> SMaT time.
+    baseline_times:
+        baseline library -> (matrix name -> time).
+
+    Returns the "SMaT is X times faster than <lib> (geomean), up to Y"
+    summary of Section VI-B as a text table.
+    """
+    rows = []
+    for lib, times in baseline_times.items():
+        speedups = []
+        for name, t_smat in smat_times.items():
+            t_base = times.get(name)
+            if t_base is None or not t_smat or t_base != t_base or t_base == float("inf"):
+                continue
+            speedups.append(t_base / t_smat)
+        if not speedups:
+            rows.append({"baseline": lib, "geomean_speedup": float("nan"),
+                         "max_speedup": float("nan"), "min_speedup": float("nan"),
+                         "n_matrices": 0})
+            continue
+        rows.append(
+            {
+                "baseline": lib,
+                "geomean_speedup": geometric_mean(speedups),
+                "max_speedup": max(speedups),
+                "min_speedup": min(speedups),
+                "n_matrices": len(speedups),
+            }
+        )
+    return format_table(rows, float_fmt=float_fmt, title="SMaT speedup over baselines")
+
+
+def series_to_rows(
+    x_name: str,
+    x_values: Iterable,
+    series: Mapping[str, Sequence[float]],
+) -> List[Dict[str, object]]:
+    """Convert one figure's series (e.g. GFLOP/s per library over a sweep)
+    into table rows keyed by the sweep variable."""
+    x_values = list(x_values)
+    rows: List[Dict[str, object]] = []
+    for i, x in enumerate(x_values):
+        row: Dict[str, object] = {x_name: x}
+        for label, values in series.items():
+            row[label] = values[i] if i < len(values) else float("nan")
+        rows.append(row)
+    return rows

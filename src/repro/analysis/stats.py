@@ -1,0 +1,127 @@
+"""Statistical helpers used by the evaluation.
+
+The paper summarises results with a handful of statistics: geometric-mean
+speedups across matrices (Section VI-B), the coefficient of variation of
+repeated timings (Section V-E), and the distribution of blocks per row
+before/after reordering (Figure 3).  This module implements them plus the
+histogramming used to regenerate Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "geometric_mean",
+    "coefficient_of_variation",
+    "speedup_summary",
+    "DistributionSummary",
+    "distribution_summary",
+    "histogram",
+]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (NaN/zero entries are ignored,
+    mirroring how the paper aggregates per-matrix speedups)."""
+    arr = np.asarray([v for v in values if v and np.isfinite(v) and v > 0], dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """sigma / mu of a sample (the paper reports CV = 0.0182 across runs)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0 or arr.mean() == 0:
+        return 0.0
+    return float(arr.std() / arr.mean())
+
+
+def speedup_summary(
+    baseline_times: Sequence[float], candidate_times: Sequence[float]
+) -> Dict[str, float]:
+    """Per-pair speedups of candidate over baseline plus aggregate stats
+    (geometric mean, min, max) -- the numbers quoted in Section VI-B."""
+    baseline = np.asarray(baseline_times, dtype=np.float64)
+    candidate = np.asarray(candidate_times, dtype=np.float64)
+    if baseline.shape != candidate.shape:
+        raise ValueError("baseline and candidate must have equal length")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        speedups = np.where(candidate > 0, baseline / candidate, np.nan)
+    finite = speedups[np.isfinite(speedups)]
+    return {
+        "geomean": geometric_mean(finite),
+        "min": float(finite.min()) if finite.size else float("nan"),
+        "max": float(finite.max()) if finite.size else float("nan"),
+        "mean": float(finite.mean()) if finite.size else float("nan"),
+    }
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary of a blocks-per-row (or similar) distribution."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    cv: float
+    total: float
+    count: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "cv": self.cv,
+            "total": self.total,
+            "count": float(self.count),
+        }
+
+
+def distribution_summary(values: Sequence[float]) -> DistributionSummary:
+    """Summary statistics of a distribution (Figure 3 uses mean and std of
+    blocks per row to quantify load balance)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return DistributionSummary(0, 0, 0, 0, 0, 0, 0, 0)
+    mean = float(arr.mean())
+    std = float(arr.std())
+    return DistributionSummary(
+        mean=mean,
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+        cv=std / mean if mean else 0.0,
+        total=float(arr.sum()),
+        count=int(arr.size),
+    )
+
+
+def histogram(values: Sequence[float], *, bins: int = 30, log: bool = False):
+    """Histogram of a distribution (counts, bin edges).
+
+    ``log=True`` uses logarithmically spaced bins, matching the log-scale
+    panels of Figure 3 for heavy-tailed matrices such as ``dc2``.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return np.zeros(bins), np.linspace(0, 1, bins + 1)
+    if log:
+        positive = arr[arr > 0]
+        lo = positive.min() if positive.size else 1.0
+        hi = max(arr.max(), lo * 1.0001)
+        edges = np.geomspace(lo, hi, bins + 1)
+    else:
+        edges = np.linspace(arr.min(), max(arr.max(), arr.min() + 1e-9), bins + 1)
+    counts, edges = np.histogram(arr, bins=edges)
+    return counts, edges

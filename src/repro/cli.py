@@ -1,0 +1,157 @@
+"""Command-line interface.
+
+``python -m repro`` gives quick access to the library without writing a
+script:
+
+* ``python -m repro compare --matrix cop20k_A --scale 0.1 --n 8``
+  runs one Table-I stand-in through SMaT and the baselines and prints the
+  comparison table (a single row of Figure 8);
+* ``python -m repro band --size 4096 --n 8`` runs the band-matrix sweep of
+  Figure 9 at a configurable size;
+* ``python -m repro reorder --matrix mip1 --scale 0.1`` reports the
+  block-count reduction of every reordering algorithm (the Section IV-C
+  ablation);
+* ``python -m repro matrices`` lists the available Table-I stand-ins.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import format_table
+from .core import SMaTConfig, compare_libraries
+from .matrices import band_matrix, band_sparsity, suitesparse
+from .reorder import get_reorderer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMaT reproduction: simulated Tensor-Core SpMM experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compare = sub.add_parser("compare", help="compare libraries on one matrix")
+    p_compare.add_argument("--matrix", default="cop20k_A", help="Table-I matrix name")
+    p_compare.add_argument("--scale", type=float, default=0.1, help="stand-in scale (0..1]")
+    p_compare.add_argument("--n", type=int, default=8, help="columns of the dense matrix B")
+    p_compare.add_argument(
+        "--libraries",
+        default="smat,dasp,magicube,cusparse",
+        help="comma-separated library list",
+    )
+    p_compare.add_argument("--reorder", default="jaccard", help="SMaT preprocessing algorithm")
+
+    p_band = sub.add_parser("band", help="band-matrix sweep against cuBLAS (Figure 9)")
+    p_band.add_argument("--size", type=int, default=4096, help="matrix dimension")
+    p_band.add_argument("--n", type=int, default=8, help="columns of B")
+
+    p_reorder = sub.add_parser("reorder", help="reordering-algorithm ablation")
+    p_reorder.add_argument("--matrix", default="mip1")
+    p_reorder.add_argument("--scale", type=float, default=0.1)
+    p_reorder.add_argument(
+        "--algorithms", default="jaccard,saad,rcm,graycode,hypergraph"
+    )
+
+    sub.add_parser("matrices", help="list the Table-I stand-ins")
+    return parser
+
+
+def _cmd_compare(args) -> int:
+    A = suitesparse.load(args.matrix, scale=args.scale)
+    rng = np.random.default_rng(0)
+    B = rng.normal(size=(A.ncols, args.n)).astype(np.float32)
+    libraries = [x.strip() for x in args.libraries.split(",") if x.strip()]
+    results = compare_libraries(
+        A, B, libraries=libraries, config=SMaTConfig(reorder=args.reorder)
+    )
+    rows = [
+        {
+            "library": r.library,
+            "GFLOP/s": r.gflops,
+            "time_ms": r.time_ms,
+            "supported": r.supported,
+            "correct": r.correct,
+        }
+        for r in results
+    ]
+    print(format_table(
+        rows,
+        title=f"{args.matrix} stand-in (scale={args.scale}), N={args.n}, simulated A100",
+    ))
+    return 0
+
+
+def _cmd_band(args) -> int:
+    rng = np.random.default_rng(0)
+    B = rng.normal(size=(args.size, args.n)).astype(np.float32)
+    rows = []
+    for bw in (64, 256, 1024, args.size // 4, args.size - 1):
+        bw = min(max(1, bw), args.size - 1)
+        A = band_matrix(args.size, bw, rng=rng)
+        res = compare_libraries(
+            A, B, libraries=("smat", "cublas", "cusparse", "dasp"), check_correctness=False
+        )
+        rows.append(
+            {
+                "bandwidth": bw,
+                "sparsity_%": 100 * band_sparsity(args.size, bw),
+                **{r.library: r.gflops for r in res},
+            }
+        )
+    print(format_table(rows, title=f"band sweep {args.size}x{args.size}, N={args.n}"))
+    return 0
+
+
+def _cmd_reorder(args) -> int:
+    A = suitesparse.load(args.matrix, scale=args.scale)
+    rows = []
+    for algo in (x.strip() for x in args.algorithms.split(",") if x.strip()):
+        result = get_reorderer(algo, block_shape=(16, 8)).reorder(A)
+        rows.append(
+            {
+                "algorithm": algo,
+                "blocks_before": result.stats_before.n_blocks,
+                "blocks_after": result.stats_after.n_blocks,
+                "reduction": result.block_reduction,
+                "std_after": result.stats_after.std_blocks_per_row,
+            }
+        )
+    print(format_table(rows, title=f"reordering ablation on {args.matrix} (scale={args.scale})"))
+    return 0
+
+
+def _cmd_matrices(_args) -> int:
+    rows = [
+        {
+            "name": m.name,
+            "domain": m.domain,
+            "rows": m.nrows,
+            "nnz": m.nnz,
+            "sparsity_%": 100 * m.sparsity,
+        }
+        for m in suitesparse.TABLE1
+    ]
+    print(format_table(rows, title="Table I matrices (paper metadata)"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "compare": _cmd_compare,
+        "band": _cmd_band,
+        "reorder": _cmd_reorder,
+        "matrices": _cmd_matrices,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""SMaT's core: configuration, end-to-end pipeline, performance model and
+library comparison harness."""
+
+from .comparison import DEFAULT_LIBRARIES, LibraryMeasurement, compare_libraries
+from .config import SMaTConfig
+from .perfmodel import FitResult, LinearPerformanceModel, block_count_bounds
+from .smat import MultiplyReport, PreprocessReport, SMaT
+
+__all__ = [
+    "SMaT",
+    "SMaTConfig",
+    "PreprocessReport",
+    "MultiplyReport",
+    "LinearPerformanceModel",
+    "FitResult",
+    "block_count_bounds",
+    "compare_libraries",
+    "LibraryMeasurement",
+    "DEFAULT_LIBRARIES",
+]

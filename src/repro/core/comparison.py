@@ -1,0 +1,141 @@
+"""Library comparison harness.
+
+The evaluation of the paper repeatedly runs the same SpMM problem through
+SMaT and the baseline libraries (cuSPARSE, DASP, Magicube, cuBLAS) and
+reports GFLOP/s or wall-clock time per library.  :func:`compare_libraries`
+packages that loop: it prepares each kernel for the (optionally
+preprocessed) matrix, runs it, checks the numerical results agree, and
+returns a uniform record per library -- the rows of Figures 8, 9 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from ..kernels import (
+    CublasDenseKernel,
+    CusparseCSRKernel,
+    DASPKernel,
+    KernelUnsupportedError,
+    MagicubeKernel,
+    SMaTKernel,
+    get_kernel,
+)
+from ..reorder import get_reorderer
+from .config import SMaTConfig
+from .smat import SMaT
+
+__all__ = ["LibraryMeasurement", "compare_libraries", "DEFAULT_LIBRARIES"]
+
+#: libraries compared in the SuiteSparse experiments (Figure 8)
+DEFAULT_LIBRARIES: Sequence[str] = ("smat", "dasp", "magicube", "cusparse")
+
+
+@dataclass
+class LibraryMeasurement:
+    """One (library, matrix, N) measurement."""
+
+    library: str
+    gflops: float
+    time_ms: float
+    supported: bool = True
+    error: Optional[str] = None
+    correct: Optional[bool] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def speedup_over(self, other: "LibraryMeasurement") -> float:
+        """Runtime speedup of this library over ``other`` (>1 = faster)."""
+        if not self.supported or not other.supported or self.time_ms <= 0:
+            return float("nan")
+        return other.time_ms / self.time_ms
+
+
+def _max_rel_error(C: np.ndarray, reference: np.ndarray) -> float:
+    denom = np.maximum(np.abs(reference), 1.0)
+    return float(np.max(np.abs(C.astype(np.float64) - reference.astype(np.float64)) / denom))
+
+
+def compare_libraries(
+    A: CSRMatrix,
+    B: np.ndarray,
+    *,
+    libraries: Iterable[str] = DEFAULT_LIBRARIES,
+    config: Optional[SMaTConfig] = None,
+    check_correctness: bool = True,
+    correctness_tol: float = 1e-3,
+) -> List[LibraryMeasurement]:
+    """Run one SpMM problem through several libraries.
+
+    Parameters
+    ----------
+    A, B:
+        The sparse matrix and the dense right-hand side.
+    libraries:
+        Library names (see :func:`repro.kernels.get_kernel`); ``"smat"``
+        uses the full pipeline (preprocessing + kernel) configured by
+        ``config``, the baselines consume ``A`` as-is -- exactly the
+        protocol of the paper's comparison (each library applies its own
+        internal preprocessing, Section VI-B).
+    config:
+        SMaT configuration (reordering algorithm, variant, precision).
+    check_correctness:
+        Compare every library's numerical result against a NumPy reference.
+
+    Returns
+    -------
+    list of LibraryMeasurement, in the order requested.
+    """
+    config = config or SMaTConfig()
+    B = np.asarray(B)
+    reference = A.spmm(B) if check_correctness else None
+
+    out: List[LibraryMeasurement] = []
+    for lib in libraries:
+        name = lib.lower()
+        try:
+            if name == "smat":
+                smat = SMaT(A, config)
+                result = smat.run_kernel(B)
+                # compare in the original row order
+                C = result.C
+                perm = smat.row_permutation
+                C_unpermuted = np.empty_like(C)
+                C_unpermuted[perm] = C
+                C = C_unpermuted
+                meta = dict(result.meta)
+                meta["block_reduction"] = smat.preprocess_report.block_reduction
+            else:
+                kernel = get_kernel(name, config.arch, config.precision)
+                kernel.prepare(A)
+                result = kernel.run(B)
+                C = result.C
+                meta = dict(result.meta)
+
+            correct = None
+            if reference is not None:
+                correct = _max_rel_error(C, reference) <= correctness_tol
+            out.append(
+                LibraryMeasurement(
+                    library=result.kernel,
+                    gflops=result.gflops,
+                    time_ms=result.time_ms,
+                    supported=True,
+                    correct=correct,
+                    meta=meta,
+                )
+            )
+        except KernelUnsupportedError as exc:
+            out.append(
+                LibraryMeasurement(
+                    library=name,
+                    gflops=0.0,
+                    time_ms=float("inf"),
+                    supported=False,
+                    error=str(exc),
+                )
+            )
+    return out

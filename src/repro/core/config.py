@@ -1,0 +1,72 @@
+"""Configuration of the SMaT pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..gpu import A100_SXM4_40GB, GPUArchitecture, Precision, get_precision
+
+__all__ = ["SMaTConfig"]
+
+
+@dataclass
+class SMaTConfig:
+    """End-to-end configuration of the SMaT library.
+
+    Parameters
+    ----------
+    precision:
+        Numeric precision of the Tensor-Core path (``"fp16"`` default, as
+        in the paper's evaluation).
+    block_shape:
+        BCSR block shape; ``None`` selects the precision's MMA-matched
+        default (16 x 8 for FP16).
+    reorder:
+        Name of the preprocessing reordering algorithm (``"jaccard"`` --
+        the paper's choice, ``"rcm"``, ``"saad"``, ``"graycode"``,
+        ``"hypergraph"``, or ``"identity"`` / ``"none"`` to disable).
+    reorder_columns:
+        Also permute columns (the paper evaluates this and concludes it is
+        not worth the extra cost of permuting ``B``; default False).
+    reorder_params:
+        Extra keyword arguments for the reorderer (e.g. the Jaccard
+        ``threshold``).
+    auto_skip_reordering:
+        Skip the permutation when it does not reduce the block count
+        (e.g. band matrices, where the identity is already optimal --
+        Section IV-C).
+    variant:
+        Kernel optimisation set (Figure 2); ``"CBT"`` is the full kernel.
+    arch:
+        Simulated GPU architecture.
+    """
+
+    precision: str = "fp16"
+    block_shape: Optional[Tuple[int, int]] = None
+    reorder: str = "jaccard"
+    reorder_columns: bool = False
+    reorder_params: dict = field(default_factory=dict)
+    auto_skip_reordering: bool = True
+    variant: str = "CBT"
+    arch: GPUArchitecture = A100_SXM4_40GB
+
+    def resolved_precision(self) -> Precision:
+        return get_precision(self.precision)
+
+    def resolved_block_shape(self) -> Tuple[int, int]:
+        if self.block_shape is not None:
+            h, w = int(self.block_shape[0]), int(self.block_shape[1])
+            if h <= 0 or w <= 0:
+                raise ValueError("block dimensions must be positive")
+            return (h, w)
+        return self.resolved_precision().block_shape
+
+    def validate(self) -> "SMaTConfig":
+        """Validate the configuration (raises on inconsistency) and return
+        self for chaining."""
+        self.resolved_precision()
+        self.resolved_block_shape()
+        if not isinstance(self.reorder, str) or not self.reorder:
+            raise ValueError("reorder must be a non-empty algorithm name")
+        return self

@@ -1,0 +1,128 @@
+"""Empirical performance model (paper Section III).
+
+The paper models the kernel runtime as a linear function of the number of
+elementary computations:
+
+    T_tot = T_e * n_e + T_init                                   (Eq. 1)
+
+where ``n_e`` is the number of non-zero BCSR blocks (each processed by one
+Tensor-Core MMA group), ``T_e`` the time per elementary computation and
+``T_init`` the fixed startup/initialisation overhead.  The number of
+blocks is bounded by
+
+    nnz / (h*w)  <=  n_e  <=  min(N_blocks_total, nnz)           (Eq. 2)
+
+The paper fits (T_e, T_init) on 16k x 16k band matrices of varying
+bandwidth and shows the fit matches measurements of every optimisation
+variant (Figure 2).  :class:`LinearPerformanceModel` performs the same
+least-squares fit on simulated (or measured) samples and reports the fit
+quality, and :func:`block_count_bounds` exposes Eq. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LinearPerformanceModel", "FitResult", "block_count_bounds"]
+
+
+def block_count_bounds(nnz: int, n_rows: int, n_cols: int, block_shape: Tuple[int, int]) -> Tuple[int, int]:
+    """Eq. 2: bounds on the number of non-zero blocks of any blocking of a
+    matrix with ``nnz`` non-zeros."""
+    h, w = int(block_shape[0]), int(block_shape[1])
+    if h <= 0 or w <= 0:
+        raise ValueError("block dimensions must be positive")
+    n_block_rows = -(-n_rows // h) if n_rows else 0
+    n_block_cols = -(-n_cols // w) if n_cols else 0
+    lower = -(-nnz // (h * w)) if nnz else 0
+    upper = min(n_block_rows * n_block_cols, nnz)
+    return int(lower), int(upper)
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Least-squares fit of Eq. 1."""
+
+    #: time per elementary computation (seconds per block)
+    t_e: float
+    #: fixed overhead (seconds)
+    t_init: float
+    #: coefficient of determination of the fit
+    r_squared: float
+    #: number of samples used
+    n_samples: int
+
+    def predict(self, n_e) -> np.ndarray:
+        """Predicted runtime (seconds) for block counts ``n_e``."""
+        n_e = np.asarray(n_e, dtype=np.float64)
+        return self.t_e * n_e + self.t_init
+
+    def relative_error(self, n_e, times) -> np.ndarray:
+        """Per-sample relative error of the model against measurements."""
+        times = np.asarray(times, dtype=np.float64)
+        pred = self.predict(n_e)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(times > 0, np.abs(pred - times) / times, 0.0)
+
+
+class LinearPerformanceModel:
+    """Fit and evaluate the paper's linear runtime model."""
+
+    def __init__(self):
+        self._fit: FitResult | None = None
+
+    @property
+    def fit_result(self) -> FitResult:
+        if self._fit is None:
+            raise RuntimeError("call fit() before using the model")
+        return self._fit
+
+    def fit(self, block_counts: Sequence[float], times_s: Sequence[float]) -> FitResult:
+        """Least-squares fit of ``T = T_e * n_e + T_init``.
+
+        Parameters
+        ----------
+        block_counts:
+            Elementary-computation counts ``n_e`` of each sample.
+        times_s:
+            Corresponding runtimes in seconds.
+        """
+        n_e = np.asarray(block_counts, dtype=np.float64)
+        t = np.asarray(times_s, dtype=np.float64)
+        if n_e.shape != t.shape or n_e.ndim != 1:
+            raise ValueError("block_counts and times_s must be 1-D arrays of equal length")
+        if n_e.size < 2:
+            raise ValueError("need at least two samples to fit the model")
+
+        A = np.stack([n_e, np.ones_like(n_e)], axis=1)
+        coef, *_ = np.linalg.lstsq(A, t, rcond=None)
+        t_e, t_init = float(coef[0]), float(coef[1])
+        # a negative intercept has no physical meaning; clamp and refit slope
+        if t_init < 0:
+            t_init = 0.0
+            t_e = float((n_e @ t) / (n_e @ n_e))
+
+        pred = t_e * n_e + t_init
+        ss_res = float(np.sum((t - pred) ** 2))
+        ss_tot = float(np.sum((t - t.mean()) ** 2))
+        r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        self._fit = FitResult(t_e=t_e, t_init=t_init, r_squared=r2, n_samples=int(n_e.size))
+        return self._fit
+
+    def predict(self, block_counts) -> np.ndarray:
+        """Predict runtimes (seconds) for the given block counts."""
+        return self.fit_result.predict(block_counts)
+
+    def fit_from_results(self, results: Iterable) -> FitResult:
+        """Fit directly from :class:`~repro.kernels.base.KernelResult`
+        objects produced by the SMaT kernel (uses the block count stored in
+        the counters and the simulated time)."""
+        counts = []
+        times = []
+        for r in results:
+            counts.append(r.counters.extra.get("n_blocks", 0.0))
+            times.append(r.timing.time_s)
+        return self.fit(counts, times)

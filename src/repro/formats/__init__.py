@@ -1,0 +1,42 @@
+"""Sparse and dense matrix storage formats.
+
+This package implements every storage format that appears in the SMaT
+paper and its baselines:
+
+* :class:`~repro.formats.coo.COOMatrix` -- coordinate interchange format,
+* :class:`~repro.formats.csr.CSRMatrix` -- the paper's input format,
+* :class:`~repro.formats.csc.CSCMatrix` -- column-compressed variant,
+* :class:`~repro.formats.bcsr.BCSRMatrix` -- SMaT's internal blocked format,
+* :class:`~repro.formats.srbcrs.SRBCRSMatrix` -- Magicube's strided format,
+* :class:`~repro.formats.dense.DenseMatrix` -- the cuBLAS baseline's view.
+
+Use :func:`~repro.formats.conversions.convert` for generic conversions and
+:mod:`repro.formats.io` for Matrix Market I/O.
+"""
+
+from .base import SparseFormat, DEFAULT_VALUE_DTYPE, index_dtype_for
+from .bcsr import BCSRMatrix
+from .coo import COOMatrix
+from .conversions import convert, register_format, FORMAT_REGISTRY
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .dense import DenseMatrix
+from .io import read_matrix_market, write_matrix_market
+from .srbcrs import SRBCRSMatrix
+
+__all__ = [
+    "SparseFormat",
+    "DEFAULT_VALUE_DTYPE",
+    "index_dtype_for",
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "BCSRMatrix",
+    "SRBCRSMatrix",
+    "DenseMatrix",
+    "convert",
+    "register_format",
+    "FORMAT_REGISTRY",
+    "read_matrix_market",
+    "write_matrix_market",
+]

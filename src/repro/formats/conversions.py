@@ -1,0 +1,78 @@
+"""Generic format conversions.
+
+:func:`convert` turns any :class:`~repro.formats.base.SparseFormat` into
+any other registered format, routing through COO when no direct conversion
+exists.  This is used by the benchmark harness, which builds each baseline
+kernel's preferred format (CSR for cuSPARSE/DASP, BCSR for SMaT, SR-BCRS
+for Magicube, dense for cuBLAS) from a single input matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import SparseFormat
+from .bcsr import BCSRMatrix
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .dense import DenseMatrix
+from .srbcrs import SRBCRSMatrix
+
+__all__ = ["convert", "FORMAT_REGISTRY", "register_format"]
+
+#: name -> constructor-from-COO
+FORMAT_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_format(name: str, from_coo: Callable) -> None:
+    """Register a conversion ``COOMatrix -> format`` under ``name``."""
+    FORMAT_REGISTRY[name.lower()] = from_coo
+
+
+register_format("coo", lambda coo, **kw: coo)
+register_format("csr", lambda coo, **kw: CSRMatrix.from_coo(coo))
+register_format("csc", lambda coo, **kw: CSCMatrix.from_coo(coo))
+register_format(
+    "bcsr",
+    lambda coo, block_shape=(16, 8), **kw: BCSRMatrix.from_csr(
+        CSRMatrix.from_coo(coo), block_shape
+    ),
+)
+register_format(
+    "srbcrs",
+    lambda coo, vector_length=8, stride=4, **kw: SRBCRSMatrix.from_csr(
+        CSRMatrix.from_coo(coo), vector_length=vector_length, stride=stride
+    ),
+)
+register_format("dense", lambda coo, **kw: DenseMatrix(coo.to_dense()))
+
+
+def convert(matrix: SparseFormat, target: str, **kwargs) -> SparseFormat:
+    """Convert ``matrix`` to the format named ``target``.
+
+    Parameters
+    ----------
+    matrix:
+        Any sparse-format instance.
+    target:
+        Registered format name: ``"coo"``, ``"csr"``, ``"csc"``, ``"bcsr"``,
+        ``"srbcrs"``, or ``"dense"``.
+    kwargs:
+        Extra format parameters, e.g. ``block_shape=(16, 8)`` for BCSR or
+        ``vector_length=8, stride=4`` for SR-BCRS.
+
+    Returns
+    -------
+    SparseFormat
+        The converted matrix.  If the matrix is already in the requested
+        format *and* no extra parameters were passed, it is returned as-is.
+    """
+    name = target.lower()
+    if name not in FORMAT_REGISTRY:
+        raise ValueError(
+            f"unknown format {target!r}; known formats: {sorted(FORMAT_REGISTRY)}"
+        )
+    if matrix.format_name == name and not kwargs:
+        return matrix
+    return FORMAT_REGISTRY[name](matrix.to_coo(), **kwargs)

@@ -1,0 +1,168 @@
+"""Coordinate (COO) sparse format.
+
+COO stores a matrix as three parallel arrays ``(row, col, val)``.  It is
+the interchange format of the library: every other format knows how to
+convert to and from COO, and :mod:`repro.formats.conversions` routes
+arbitrary conversions through it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import (
+    DEFAULT_VALUE_DTYPE,
+    SparseFormat,
+    check_dense_operand,
+    check_shape,
+    index_dtype_for,
+)
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix(SparseFormat):
+    """Sparse matrix in coordinate format.
+
+    Parameters
+    ----------
+    row, col:
+        Integer arrays of equal length with the coordinates of each stored
+        entry.
+    val:
+        Array of stored values, same length as ``row``/``col``.
+    shape:
+        Logical ``(rows, cols)`` of the matrix.
+    sum_duplicates:
+        When True (default) duplicate coordinates are summed; otherwise a
+        ``ValueError`` is raised if duplicates are present.
+    """
+
+    format_name = "coo"
+
+    def __init__(self, row, col, val, shape: Tuple[int, int], *, sum_duplicates: bool = True):
+        shape = check_shape(shape)
+        row = np.asarray(row)
+        col = np.asarray(col)
+        val = np.asarray(val)
+        if not (row.shape == col.shape == val.shape) or row.ndim != 1:
+            raise ValueError("row, col and val must be 1-D arrays of equal length")
+        if row.size:
+            if row.min(initial=0) < 0 or col.min(initial=0) < 0:
+                raise ValueError("negative indices are not allowed")
+            if row.max(initial=0) >= shape[0] or col.max(initial=0) >= shape[1]:
+                raise ValueError(
+                    f"coordinates out of bounds for shape {shape}: "
+                    f"max row {row.max()}, max col {col.max()}"
+                )
+        dtype = val.dtype if val.dtype.kind in "fiu" else DEFAULT_VALUE_DTYPE
+        super().__init__(shape, dtype=dtype)
+
+        idx_dtype = index_dtype_for(shape[0], shape[1], row.size)
+        row = row.astype(idx_dtype, copy=False)
+        col = col.astype(idx_dtype, copy=False)
+        val = val.astype(dtype, copy=False)
+
+        # canonical order: sorted by (row, col), duplicates merged
+        if row.size:
+            order = np.lexsort((col, row))
+            row, col, val = row[order], col[order], val[order]
+            dup = np.zeros(row.size, dtype=bool)
+            dup[1:] = (row[1:] == row[:-1]) & (col[1:] == col[:-1])
+            if dup.any():
+                if not sum_duplicates:
+                    raise ValueError("duplicate coordinates present")
+                # segment-sum values of duplicate runs into the first element
+                keep = ~dup
+                group = np.cumsum(keep) - 1
+                summed = np.zeros(int(keep.sum()), dtype=val.dtype)
+                np.add.at(summed, group, val)
+                row, col, val = row[keep], col[keep], summed
+
+        self.row = row
+        self.col = col
+        self.val = val
+
+    # -- construction helpers ----------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, *, tol: float = 0.0) -> "COOMatrix":
+        """Create a COO matrix from a dense array, dropping entries with
+        ``abs(value) <= tol``."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        mask = np.abs(dense) > tol
+        row, col = np.nonzero(mask)
+        return cls(row, col, dense[mask], dense.shape)
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int], dtype=DEFAULT_VALUE_DTYPE) -> "COOMatrix":
+        """Create an all-zero matrix of the given shape."""
+        return cls(
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=dtype),
+            shape,
+        )
+
+    # -- SparseFormat API ----------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.val.size)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.dtype)
+        out[self.row, self.col] = self.val
+        return out
+
+    def to_coo(self) -> "COOMatrix":
+        return self
+
+    def to_csr(self):
+        """Convert to :class:`repro.formats.csr.CSRMatrix`."""
+        from .csr import CSRMatrix
+
+        return CSRMatrix.from_coo(self)
+
+    def to_csc(self):
+        """Convert to :class:`repro.formats.csc.CSCMatrix`."""
+        from .csc import CSCMatrix
+
+        return CSCMatrix.from_coo(self)
+
+    def spmm(self, B: np.ndarray) -> np.ndarray:
+        B = check_dense_operand(B, self.ncols)
+        out_dtype = np.result_type(self.dtype, B.dtype, np.float32)
+        C = np.zeros((self.nrows, B.shape[1]), dtype=out_dtype)
+        if self.nnz:
+            contrib = self.val[:, None].astype(out_dtype) * B[self.col]
+            np.add.at(C, self.row, contrib)
+        return C
+
+    # -- transforms ----------------------------------------------------------
+    def transpose(self) -> "COOMatrix":
+        """Return the transposed matrix (swaps rows and columns)."""
+        return COOMatrix(self.col, self.row, self.val, (self.ncols, self.nrows))
+
+    def permute(self, row_perm=None, col_perm=None) -> "COOMatrix":
+        """Return ``P_r @ A @ P_c^T`` for permutation vectors given as
+        "new position -> old index" arrays (the convention used throughout
+        :mod:`repro.reorder`)."""
+        row = self.row
+        col = self.col
+        if row_perm is not None:
+            row_perm = np.asarray(row_perm)
+            inv = np.empty_like(row_perm)
+            inv[row_perm] = np.arange(row_perm.size, dtype=row_perm.dtype)
+            row = inv[row]
+        if col_perm is not None:
+            col_perm = np.asarray(col_perm)
+            inv = np.empty_like(col_perm)
+            inv[col_perm] = np.arange(col_perm.size, dtype=col_perm.dtype)
+            col = inv[col]
+        return COOMatrix(row, col, self.val, self.shape)
+
+    def _storage_arrays(self):
+        return (self.row, self.col, self.val)

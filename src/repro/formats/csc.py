@@ -1,0 +1,121 @@
+"""Compressed Sparse Column (CSC) format.
+
+CSC mirrors CSR with the roles of rows and columns exchanged.  It is used
+by the column-reordering experiments (paper Section IV-C evaluates row
+*and* column permutations) where per-column support sets are needed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import (
+    DEFAULT_VALUE_DTYPE,
+    SparseFormat,
+    check_dense_operand,
+    check_shape,
+    index_dtype_for,
+)
+
+__all__ = ["CSCMatrix"]
+
+
+class CSCMatrix(SparseFormat):
+    """Sparse matrix in CSC format (``colptr``, ``row``, ``val``)."""
+
+    format_name = "csc"
+
+    def __init__(self, colptr, row, val, shape: Tuple[int, int], *, check: bool = True):
+        shape = check_shape(shape)
+        colptr = np.asarray(colptr)
+        row = np.asarray(row)
+        val = np.asarray(val)
+        dtype = val.dtype if val.dtype.kind in "fiu" else DEFAULT_VALUE_DTYPE
+        super().__init__(shape, dtype=dtype)
+
+        if colptr.ndim != 1 or colptr.size != shape[1] + 1:
+            raise ValueError(
+                f"colptr must have length cols+1 = {shape[1] + 1}, got {colptr.size}"
+            )
+        if row.ndim != 1 or val.ndim != 1 or row.size != val.size:
+            raise ValueError("row and val must be 1-D arrays of equal length")
+        if check:
+            if colptr[0] != 0 or colptr[-1] != row.size:
+                raise ValueError("colptr must start at 0 and end at nnz")
+            if np.any(np.diff(colptr) < 0):
+                raise ValueError("colptr must be non-decreasing")
+            if row.size and (row.min() < 0 or row.max() >= shape[0]):
+                raise ValueError("row indices out of bounds")
+
+        idx_dtype = index_dtype_for(shape[0], shape[1], row.size)
+        self.colptr = colptr.astype(idx_dtype, copy=False)
+        self.row = row.astype(idx_dtype, copy=False)
+        self.val = val.astype(dtype, copy=False)
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo) -> "CSCMatrix":
+        """Build a CSC matrix from a COO matrix."""
+        shape = coo.shape
+        idx_dtype = index_dtype_for(shape[0], shape[1], coo.nnz)
+        order = np.lexsort((coo.row, coo.col))
+        row = coo.row[order]
+        col = coo.col[order]
+        val = coo.val[order]
+        counts = np.bincount(col, minlength=shape[1]).astype(idx_dtype)
+        colptr = np.zeros(shape[1] + 1, dtype=idx_dtype)
+        np.cumsum(counts, out=colptr[1:])
+        return cls(colptr, row, val, shape, check=False)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, *, tol: float = 0.0) -> "CSCMatrix":
+        from .coo import COOMatrix
+
+        return cls.from_coo(COOMatrix.from_dense(dense, tol=tol))
+
+    # -- SparseFormat API ---------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.val.size)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.dtype)
+        cols = np.repeat(np.arange(self.ncols), np.diff(self.colptr))
+        out[self.row, cols] = self.val
+        return out
+
+    def to_coo(self):
+        from .coo import COOMatrix
+
+        cols = np.repeat(np.arange(self.ncols), np.diff(self.colptr))
+        return COOMatrix(self.row, cols, self.val, self.shape)
+
+    def to_csr(self):
+        from .csr import CSRMatrix
+
+        return CSRMatrix.from_coo(self.to_coo())
+
+    def spmm(self, B: np.ndarray) -> np.ndarray:
+        B = check_dense_operand(B, self.ncols)
+        out_dtype = np.result_type(self.dtype, B.dtype, np.float32)
+        C = np.zeros((self.nrows, B.shape[1]), dtype=out_dtype)
+        if self.nnz:
+            cols = np.repeat(np.arange(self.ncols), np.diff(self.colptr))
+            contrib = self.val[:, None].astype(out_dtype) * B[cols]
+            np.add.at(C, self.row, contrib)
+        return C
+
+    # -- statistics ------------------------------------------------------------------
+    def col_nnz(self) -> np.ndarray:
+        """Number of stored entries in each column."""
+        return np.diff(self.colptr)
+
+    def col_indices(self, j: int) -> np.ndarray:
+        """Row-index support set of column ``j``."""
+        lo, hi = int(self.colptr[j]), int(self.colptr[j + 1])
+        return self.row[lo:hi]
+
+    def _storage_arrays(self):
+        return (self.colptr, self.row, self.val)

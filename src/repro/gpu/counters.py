@@ -1,0 +1,146 @@
+"""Hardware event counters collected by the kernel models.
+
+Every kernel in :mod:`repro.kernels` executes the SpMM numerically with
+NumPy and, alongside, accumulates a :class:`KernelCounters` record of the
+work a real GPU kernel would perform: Tensor-Core MMA instructions, CUDA
+core FLOPs, bytes moved at each level of the memory hierarchy, and the
+per-warp work distribution (the input to the load-balance-aware schedule
+model).  The cost model (:mod:`repro.gpu.cost`) converts counters into a
+simulated execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["KernelCounters"]
+
+
+@dataclass
+class KernelCounters:
+    """Work performed by one (simulated) kernel launch.
+
+    Attributes
+    ----------
+    useful_flops:
+        FLOPs that contribute to the mathematical result, ``2 * nnz * N``;
+        GFLOP/s figures in the paper (and in our benchmarks) always use
+        this numerator, so padding work lowers the reported rate.
+    mma_instructions:
+        Warp-level Tensor-Core MMA instructions issued.
+    mma_flops:
+        FLOPs processed by the Tensor Cores *including* padding
+        (``mma_instructions * flops_per_mma``).
+    cuda_core_flops:
+        FLOPs executed on the regular FP32/FP64 pipelines (used by the
+        cuSPARSE- and DASP-like baselines).
+    bytes_global_read / bytes_global_write:
+        DRAM traffic in bytes.
+    bytes_shared:
+        Shared-memory traffic in bytes (used for bank-conflict modelling).
+    scalar_instructions:
+        Address arithmetic / predicate / load-issue instructions; captures
+        the per-non-zero decode overhead of unblocked formats.
+    warp_work_cycles:
+        Optional per-warp compute cycles; when present the schedule model
+        computes the makespan of the static warp assignment (load
+        imbalance).  When absent the aggregate throughput model is used.
+    extra:
+        Free-form per-kernel diagnostics (block counts, occupancy, ...).
+    """
+
+    useful_flops: float = 0.0
+    mma_instructions: float = 0.0
+    mma_flops: float = 0.0
+    cuda_core_flops: float = 0.0
+    bytes_global_read: float = 0.0
+    bytes_global_write: float = 0.0
+    bytes_shared: float = 0.0
+    scalar_instructions: float = 0.0
+    warp_work_cycles: Optional[np.ndarray] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def bytes_global(self) -> float:
+        """Total DRAM traffic."""
+        return self.bytes_global_read + self.bytes_global_write
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Useful FLOPs per DRAM byte (roofline x-coordinate)."""
+        return self.useful_flops / self.bytes_global if self.bytes_global else 0.0
+
+    @property
+    def padding_ratio(self) -> float:
+        """Tensor-Core FLOPs per useful FLOP (>= 1; 1 = no padding waste)."""
+        if not self.useful_flops:
+            return 0.0
+        work = self.mma_flops if self.mma_flops else self.cuda_core_flops
+        return work / self.useful_flops
+
+    # -- combination ----------------------------------------------------------
+    def __add__(self, other: "KernelCounters") -> "KernelCounters":
+        if not isinstance(other, KernelCounters):
+            return NotImplemented
+        warp = None
+        if self.warp_work_cycles is not None and other.warp_work_cycles is not None:
+            warp = np.concatenate([self.warp_work_cycles, other.warp_work_cycles])
+        elif self.warp_work_cycles is not None:
+            warp = self.warp_work_cycles
+        elif other.warp_work_cycles is not None:
+            warp = other.warp_work_cycles
+        merged_extra = dict(self.extra)
+        for k, v in other.extra.items():
+            merged_extra[k] = merged_extra.get(k, 0.0) + v
+        return KernelCounters(
+            useful_flops=self.useful_flops + other.useful_flops,
+            mma_instructions=self.mma_instructions + other.mma_instructions,
+            mma_flops=self.mma_flops + other.mma_flops,
+            cuda_core_flops=self.cuda_core_flops + other.cuda_core_flops,
+            bytes_global_read=self.bytes_global_read + other.bytes_global_read,
+            bytes_global_write=self.bytes_global_write + other.bytes_global_write,
+            bytes_shared=self.bytes_shared + other.bytes_shared,
+            scalar_instructions=self.scalar_instructions + other.scalar_instructions,
+            warp_work_cycles=warp,
+            extra=merged_extra,
+        )
+
+    def scaled(self, factor: float) -> "KernelCounters":
+        """Return counters multiplied by ``factor`` (e.g. to model a batched
+        kernel as repeated launches)."""
+        warp = None
+        if self.warp_work_cycles is not None:
+            warp = self.warp_work_cycles * factor
+        return KernelCounters(
+            useful_flops=self.useful_flops * factor,
+            mma_instructions=self.mma_instructions * factor,
+            mma_flops=self.mma_flops * factor,
+            cuda_core_flops=self.cuda_core_flops * factor,
+            bytes_global_read=self.bytes_global_read * factor,
+            bytes_global_write=self.bytes_global_write * factor,
+            bytes_shared=self.bytes_shared * factor,
+            scalar_instructions=self.scalar_instructions * factor,
+            warp_work_cycles=warp,
+            extra={k: v * factor for k, v in self.extra.items()},
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary view (used by reports and tests)."""
+        out = {
+            "useful_flops": self.useful_flops,
+            "mma_instructions": self.mma_instructions,
+            "mma_flops": self.mma_flops,
+            "cuda_core_flops": self.cuda_core_flops,
+            "bytes_global_read": self.bytes_global_read,
+            "bytes_global_write": self.bytes_global_write,
+            "bytes_shared": self.bytes_shared,
+            "scalar_instructions": self.scalar_instructions,
+            "arithmetic_intensity": self.arithmetic_intensity,
+            "padding_ratio": self.padding_ratio,
+        }
+        out.update(self.extra)
+        return out

@@ -1,0 +1,105 @@
+"""Memory-hierarchy traffic and latency model.
+
+Section II-A3 of the paper describes the A100 memory hierarchy (global
+HBM2, per-SM shared memory with 32 banks, registers) and Section IV-E the
+asynchronous global->shared copies used to hide latency.  The cost model
+needs two things from the memory system:
+
+* the *throughput* time to move a number of bytes at each level (DRAM and
+  shared memory), with an efficiency factor for access-pattern quality
+  (coalescing, bank conflicts), and
+* the *latency* of individual accesses, which dominates when a kernel
+  issues dependent loads without enough parallelism to hide them (the
+  "naive" kernel variant of Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .arch import GPUArchitecture
+
+__all__ = ["MemoryModel", "AccessPattern"]
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Qualitative description of a kernel's memory access pattern.
+
+    Attributes
+    ----------
+    coalescing:
+        Fraction of peak DRAM bandwidth achievable: 1.0 for perfectly
+        coalesced streaming loads, down to ~1/32 for fully scattered
+        per-thread accesses (each 32-byte sector transferring one useful
+        element).
+    bank_conflict_factor:
+        Average number of shared-memory transactions per request (1.0 = no
+        conflicts; 32.0 = fully serialised 32-way conflicts).
+    l2_hit_rate:
+        Fraction of DRAM reads served from L2 (re-reads of B in SpMM).
+    """
+
+    coalescing: float = 1.0
+    bank_conflict_factor: float = 1.0
+    l2_hit_rate: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 < self.coalescing <= 1.0:
+            raise ValueError("coalescing must be in (0, 1]")
+        if self.bank_conflict_factor < 1.0:
+            raise ValueError("bank_conflict_factor must be >= 1")
+        if not 0.0 <= self.l2_hit_rate < 1.0:
+            raise ValueError("l2_hit_rate must be in [0, 1)")
+
+
+class MemoryModel:
+    """Converts byte counts into time on a given architecture."""
+
+    def __init__(self, arch: GPUArchitecture):
+        self.arch = arch
+
+    # -- throughput ------------------------------------------------------------
+    def dram_time_s(self, n_bytes: float, pattern: AccessPattern | None = None) -> float:
+        """Time to move ``n_bytes`` between DRAM and the SMs.
+
+        Reads served by the L2 cache are charged at L2 bandwidth instead of
+        DRAM bandwidth.
+        """
+        pattern = pattern or AccessPattern()
+        dram_bytes = n_bytes * (1.0 - pattern.l2_hit_rate)
+        l2_bytes = n_bytes * pattern.l2_hit_rate
+        dram_bw = self.arch.hbm_bandwidth_gbs * 1e9 * pattern.coalescing
+        l2_bw = self.arch.l2_bandwidth_gbs * 1e9
+        t = 0.0
+        if dram_bytes:
+            t += dram_bytes / dram_bw
+        if l2_bytes:
+            t += l2_bytes / l2_bw
+        return t
+
+    def shared_time_s(self, n_bytes: float, pattern: AccessPattern | None = None) -> float:
+        """Time for ``n_bytes`` of aggregate shared-memory traffic."""
+        pattern = pattern or AccessPattern()
+        bw = self.arch.shared_bandwidth_gbs * 1e9 / pattern.bank_conflict_factor
+        return n_bytes / bw if n_bytes else 0.0
+
+    # -- latency -----------------------------------------------------------------
+    def global_latency_s(self, n_dependent_accesses: float) -> float:
+        """Serial latency of ``n`` *dependent* global accesses (no
+        overlapping); models the naive, non-pipelined kernel variants."""
+        cycles = n_dependent_accesses * self.arch.global_latency_cycles
+        return cycles * self.arch.cycle_time_ns * 1e-9
+
+    def shared_latency_s(self, n_dependent_accesses: float) -> float:
+        """Serial latency of dependent shared-memory accesses."""
+        cycles = n_dependent_accesses * self.arch.shared_latency_cycles
+        return cycles * self.arch.cycle_time_ns * 1e-9
+
+    # -- capacity ------------------------------------------------------------------
+    def fits_in_device_memory(self, n_bytes: float, *, reserve_fraction: float = 0.05) -> bool:
+        """Whether an allocation of ``n_bytes`` fits in HBM (minus a small
+        reserve for the CUDA context); used to flag the out-of-memory
+        failures the paper reports for Magicube on large matrices."""
+        capacity = self.arch.hbm_capacity_gib * (1 << 30) * (1.0 - reserve_fraction)
+        return n_bytes <= capacity

@@ -1,0 +1,85 @@
+"""Software-pipelining (double-buffering) model.
+
+Section IV-E of the paper: ``cuda::memcpy_async`` lets a warp copy the
+*next* BCSR block from global to shared memory while the Tensor Cores
+process the current one.  With the copy engine doing the staging, the
+steady-state per-block cost becomes the maximum of the compute time and
+the load time instead of their sum; only the first block of each warp
+pays the full (non-overlapped) load latency.
+
+:func:`per_block_cycles` captures this for a warp that processes ``n``
+blocks sequentially, and is used by the SMaT kernel variants
+(Figure 2: adding "C" -- cooperative asynchronous loads -- on top of
+"BT").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PipelineConfig", "per_block_cycles", "warp_total_cycles"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Describes how a warp overlaps data movement with computation.
+
+    Attributes
+    ----------
+    async_copy:
+        ``cuda::memcpy_async`` is used: global->shared copies bypass the
+        register file and overlap with MMA execution (the "C"
+        optimisation).
+    double_buffered:
+        Two shared-memory buffers are used so that the copy of block
+        ``i+1`` runs during the computation of block ``i``.
+    stages:
+        Number of pipeline stages (2 = classic double buffering; more
+        stages smooth out DRAM latency spikes but cost shared memory).
+    """
+
+    async_copy: bool = True
+    double_buffered: bool = True
+    stages: int = 2
+
+
+def per_block_cycles(
+    compute_cycles: float,
+    load_cycles: float,
+    config: PipelineConfig,
+) -> float:
+    """Steady-state cost of one block for a warp.
+
+    Without overlap the warp pays ``compute + load`` per block; with
+    asynchronous double buffering it pays ``max(compute, load)``.
+    """
+    if config.async_copy and config.double_buffered:
+        return max(compute_cycles, load_cycles)
+    if config.async_copy:
+        # async copy without double buffering still removes the
+        # global->register->shared round-trip, modelled as halving the
+        # exposed load cost
+        return compute_cycles + 0.5 * load_cycles
+    return compute_cycles + load_cycles
+
+
+def warp_total_cycles(
+    n_blocks: int,
+    compute_cycles: float,
+    load_cycles: float,
+    config: PipelineConfig,
+    *,
+    prologue_cycles: float = 0.0,
+) -> float:
+    """Total cycles for a warp that processes ``n_blocks`` blocks.
+
+    The first block cannot overlap its own load (pipeline fill), so it
+    always pays ``compute + load``; subsequent blocks pay the steady-state
+    cost.  ``prologue_cycles`` accounts for fixed per-warp work such as
+    loading the B panel and writing back the C tile.
+    """
+    if n_blocks <= 0:
+        return prologue_cycles
+    steady = per_block_cycles(compute_cycles, load_cycles, config)
+    fill = compute_cycles + load_cycles
+    return prologue_cycles + fill + steady * (n_blocks - 1)

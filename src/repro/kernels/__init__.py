@@ -1,0 +1,62 @@
+"""Simulated SpMM kernels: SMaT and the paper's comparison targets.
+
+Each kernel executes the SpMM numerically (NumPy) and produces a simulated
+A100 execution time through :mod:`repro.gpu`:
+
+* :class:`~repro.kernels.smat.SMaTKernel` -- the paper's BCSR Tensor-Core
+  kernel, with the Figure-2 optimisation ladder (naive/B/T/BT/CBT),
+* :class:`~repro.kernels.csr_spmm.CusparseCSRKernel` -- cuSPARSE-like CSR
+  SpMM on CUDA cores,
+* :class:`~repro.kernels.dasp.DASPKernel` -- DASP-like batched SpMV,
+* :class:`~repro.kernels.magicube.MagicubeKernel` -- Magicube-like SR-BCRS
+  Tensor-Core kernel,
+* :class:`~repro.kernels.dense_gemm.CublasDenseKernel` -- cuBLAS-like dense
+  GEMM on the densified matrix.
+
+Use :func:`get_kernel` to instantiate by name.
+"""
+
+from typing import Dict, Type
+
+from .base import KernelResult, KernelUnsupportedError, SpMMKernel
+from .csr_spmm import CusparseCSRKernel
+from .dasp import DASPKernel
+from .dense_gemm import CublasDenseKernel
+from .magicube import MagicubeKernel
+from .smat import SMaTKernel, SMaTVariant
+
+__all__ = [
+    "SpMMKernel",
+    "KernelResult",
+    "KernelUnsupportedError",
+    "SMaTKernel",
+    "SMaTVariant",
+    "CusparseCSRKernel",
+    "DASPKernel",
+    "MagicubeKernel",
+    "CublasDenseKernel",
+    "KERNEL_REGISTRY",
+    "get_kernel",
+    "available_kernels",
+]
+
+KERNEL_REGISTRY: Dict[str, Type[SpMMKernel]] = {
+    "smat": SMaTKernel,
+    "cusparse": CusparseCSRKernel,
+    "dasp": DASPKernel,
+    "magicube": MagicubeKernel,
+    "cublas": CublasDenseKernel,
+}
+
+
+def get_kernel(name: str, *args, **kwargs) -> SpMMKernel:
+    """Instantiate a kernel by (case-insensitive) library name."""
+    key = name.lower()
+    if key not in KERNEL_REGISTRY:
+        raise ValueError(f"unknown kernel {name!r}; available: {sorted(KERNEL_REGISTRY)}")
+    return KERNEL_REGISTRY[key](*args, **kwargs)
+
+
+def available_kernels() -> list[str]:
+    """Names of all registered kernels."""
+    return sorted(KERNEL_REGISTRY)

@@ -1,0 +1,137 @@
+"""Kernel interface shared by SMaT and the baseline libraries.
+
+Every kernel in this package mirrors one of the libraries evaluated in the
+paper (SMaT, cuSPARSE, DASP, Magicube, cuBLAS).  A kernel
+
+1. is *prepared* once for a sparse matrix ``A`` -- format conversion and
+   any library-internal preprocessing happen here, mirroring the paper's
+   separation between preprocessing and execution (Figure 1), and
+2. is *run* against a dense matrix ``B``, producing the numerical result
+   ``C = A @ B`` (computed with NumPy) together with a simulated A100
+   execution time (computed by :mod:`repro.gpu`).
+
+The numerical result is exact (reference semantics); the timing is the
+model's estimate of what the corresponding CUDA kernel would achieve.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from ..formats.base import check_dense_operand
+from ..gpu import (
+    A100_SXM4_40GB,
+    CostModel,
+    GPUArchitecture,
+    KernelCounters,
+    Precision,
+    SimulatedTiming,
+    get_precision,
+)
+
+__all__ = ["KernelResult", "SpMMKernel", "KernelUnsupportedError"]
+
+
+class KernelUnsupportedError(RuntimeError):
+    """Raised when a kernel cannot execute a given problem.
+
+    Mirrors real failures reported in the paper, e.g. Magicube running out
+    of device memory for large matrices (Section V-D / VI-F).
+    """
+
+
+@dataclass
+class KernelResult:
+    """Outcome of one simulated SpMM launch."""
+
+    #: the numerical product ``A @ B``
+    C: np.ndarray
+    #: simulated execution time and derived GFLOP/s
+    timing: SimulatedTiming
+    #: raw hardware-event counters that produced the timing
+    counters: KernelCounters
+    #: kernel (library) name
+    kernel: str
+    #: free-form per-kernel metadata (block counts, variant flags, ...)
+    meta: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def gflops(self) -> float:
+        return self.timing.gflops
+
+    @property
+    def time_ms(self) -> float:
+        return self.timing.time_ms
+
+
+class SpMMKernel(abc.ABC):
+    """Base class of all simulated SpMM kernels.
+
+    Parameters
+    ----------
+    arch:
+        Simulated GPU architecture (defaults to the paper's A100).
+    precision:
+        Numeric precision of the Tensor-Core path (``"fp16"`` by default,
+        matching the paper's evaluation).
+    """
+
+    #: human-readable library name ("SMaT", "cuSPARSE", ...)
+    name: str = "abstract"
+
+    def __init__(self, arch: GPUArchitecture = A100_SXM4_40GB, precision="fp16"):
+        self.arch = arch
+        self.precision: Precision = get_precision(precision)
+        self.cost_model = CostModel(arch, self.precision)
+        self._prepared_for: Optional[CSRMatrix] = None
+
+    # -- preparation -----------------------------------------------------------
+    @abc.abstractmethod
+    def prepare(self, A: CSRMatrix) -> None:
+        """Convert ``A`` into the kernel's internal format.
+
+        May raise :class:`KernelUnsupportedError` if the kernel cannot
+        handle the matrix (e.g. it does not fit in device memory).
+        """
+
+    def is_prepared(self) -> bool:
+        return self._prepared_for is not None
+
+    def _mark_prepared(self, A: CSRMatrix) -> None:
+        self._prepared_for = A
+
+    def _require_prepared(self) -> CSRMatrix:
+        if self._prepared_for is None:
+            raise RuntimeError(f"{self.name}: call prepare(A) before run(B)")
+        return self._prepared_for
+
+    # -- execution ----------------------------------------------------------------
+    @abc.abstractmethod
+    def run(self, B: np.ndarray) -> KernelResult:
+        """Execute ``C = A @ B`` and return the numerical result plus the
+        simulated timing."""
+
+    def multiply(self, A: CSRMatrix, B: np.ndarray) -> KernelResult:
+        """Convenience: prepare for ``A`` (if needed) and run against ``B``."""
+        if self._prepared_for is not A:
+            self.prepare(A)
+        return self.run(B)
+
+    # -- shared helpers ---------------------------------------------------------------
+    def _validate_B(self, B: np.ndarray) -> np.ndarray:
+        A = self._require_prepared()
+        return check_dense_operand(B, A.ncols)
+
+    @staticmethod
+    def useful_flops(nnz: int, n_cols: int) -> float:
+        """FLOPs that contribute to the result: ``2 * nnz * N`` (one multiply
+        and one add per stored entry and output column)."""
+        return 2.0 * float(nnz) * float(max(1, n_cols))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} arch={self.arch.name} precision={self.precision.key}>"

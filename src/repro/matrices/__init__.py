@@ -1,0 +1,50 @@
+"""Synthetic matrix generators and SuiteSparse stand-ins.
+
+The SMaT evaluation uses two matrix families:
+
+* synthetic **band matrices** (Section VI-C; :mod:`repro.matrices.band`),
+* nine **SuiteSparse matrices** (Table I) for which this package provides
+  structurally-equivalent synthetic stand-ins
+  (:mod:`repro.matrices.suitesparse`), since the real collection cannot be
+  downloaded offline.
+
+Additional generators cover the application domains the paper motivates
+(FEM meshes, lattice QCD, graphs/GNNs, circuits) and the structures used
+by unit tests (uniform random, block random, hidden clusters).
+"""
+
+from .band import band_matrix, band_sparsity, bandwidth_for_sparsity
+from .clustered import add_dense_rows, hidden_cluster_matrix, shuffle_rows
+from .graph import contact_map_graph, rmat_graph, scale_free_graph
+from .lattice import block_band_matrix, lattice_qcd_like
+from .mesh import fem_block_mesh, shell_structure, stencil_2d, stencil_3d
+from .random import (
+    block_random,
+    diagonal_plus_random,
+    row_skewed_random,
+    uniform_random,
+)
+from . import suitesparse
+
+__all__ = [
+    "band_matrix",
+    "band_sparsity",
+    "bandwidth_for_sparsity",
+    "hidden_cluster_matrix",
+    "shuffle_rows",
+    "add_dense_rows",
+    "scale_free_graph",
+    "rmat_graph",
+    "contact_map_graph",
+    "block_band_matrix",
+    "lattice_qcd_like",
+    "stencil_2d",
+    "stencil_3d",
+    "fem_block_mesh",
+    "shell_structure",
+    "uniform_random",
+    "block_random",
+    "row_skewed_random",
+    "diagonal_plus_random",
+    "suitesparse",
+]

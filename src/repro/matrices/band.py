@@ -1,0 +1,114 @@
+"""Synthetic band matrices (paper Section VI-C).
+
+The paper's synthetic benchmark multiplies a ``16,384 x 16,384`` band
+matrix of bandwidth ``b`` (``a[i, j] = 0`` if ``j < i - b`` or
+``j > i + b``) by a tall-and-skinny dense matrix, sweeping ``b`` from 64
+up to the full dimension (which makes the matrix dense).  Band matrices
+isolate the effect of the block count ``n_e``: their BCSR blocks are
+already dense, load balance is perfect and no reordering is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats import CSRMatrix
+
+__all__ = ["band_matrix", "band_sparsity", "bandwidth_for_sparsity"]
+
+
+def band_sparsity(n: int, bandwidth: int) -> float:
+    """Exact sparsity (fraction of zeros) of an ``n x n`` band matrix with
+    half-bandwidth ``bandwidth`` (band fully filled)."""
+    nnz = _band_nnz(n, bandwidth)
+    return 1.0 - nnz / float(n * n)
+
+
+def _band_nnz(n: int, bandwidth: int) -> int:
+    b = min(int(bandwidth), n - 1)
+    if b < 0:
+        return 0
+    # full rows have 2b+1 entries; the first/last b rows are clipped
+    full = n * (2 * b + 1)
+    clipped = b * (b + 1)  # sum_{i=1..b} i, clipped on each side
+    return full - clipped
+
+
+def bandwidth_for_sparsity(n: int, sparsity: float) -> int:
+    """Smallest half-bandwidth whose band matrix has at most the requested
+    sparsity (i.e. at least the corresponding density)."""
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError("sparsity must be in [0, 1]")
+    target_nnz = (1.0 - sparsity) * n * n
+    lo, hi = 0, n - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _band_nnz(n, mid) >= target_nnz:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def band_matrix(
+    n: int,
+    bandwidth: int,
+    *,
+    dtype=np.float32,
+    rng: np.random.Generator | None = None,
+    value_mode: str = "random",
+) -> CSRMatrix:
+    """Generate an ``n x n`` band matrix with half-bandwidth ``bandwidth``.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension.
+    bandwidth:
+        Half-bandwidth ``b``; entries with ``|i - j| <= b`` are non-zero.
+        ``bandwidth >= n - 1`` produces a fully dense matrix.
+    dtype:
+        Value dtype.
+    rng:
+        Random generator for the values (``value_mode="random"``).
+    value_mode:
+        ``"random"`` (uniform in ``[0.5, 1.5)``), ``"ones"`` or
+        ``"diagonal_dominant"`` (random off-diagonals, large diagonal --
+        the HPCG-like stencil case mentioned in the paper's motivation).
+
+    Returns
+    -------
+    CSRMatrix
+        The band matrix in CSR format.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    b = min(int(bandwidth), n - 1)
+    if b < 0:
+        raise ValueError("bandwidth must be non-negative")
+    rng = rng or np.random.default_rng(0)
+
+    row_start = np.maximum(np.arange(n) - b, 0)
+    row_end = np.minimum(np.arange(n) + b, n - 1)
+    counts = (row_end - row_start + 1).astype(np.int64)
+    rowptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=rowptr[1:])
+    nnz = int(rowptr[-1])
+
+    # column indices: for each row i, row_start[i] .. row_end[i]
+    rows = np.repeat(np.arange(n, dtype=np.int64), counts)
+    offsets = np.arange(nnz, dtype=np.int64) - np.repeat(rowptr[:-1], counts)
+    cols = np.repeat(row_start, counts) + offsets
+
+    if value_mode == "ones":
+        vals = np.ones(nnz, dtype=dtype)
+    elif value_mode == "random":
+        vals = rng.uniform(0.5, 1.5, size=nnz).astype(dtype)
+    elif value_mode == "diagonal_dominant":
+        vals = rng.uniform(-1.0, 0.0, size=nnz).astype(dtype)
+        diag = rows == cols
+        vals[diag] = (2.0 * b + 1.0)
+    else:
+        raise ValueError(f"unknown value_mode {value_mode!r}")
+
+    return CSRMatrix(rowptr, cols, vals, (n, n), check=False)

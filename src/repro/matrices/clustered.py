@@ -1,0 +1,145 @@
+"""Matrices with a *hidden* row-cluster structure.
+
+The SMaT preprocessing step (Jaccard row clustering, Section IV-C of the
+paper) pays off when groups of rows share most of their column support but
+are scattered throughout the matrix by the input ordering.  Optimisation
+matrices such as ``mip1`` have exactly this property: constraint rows that
+touch the same variable groups are interleaved with unrelated rows.
+
+:func:`hidden_cluster_matrix` generates such matrices with a controllable
+amount of hidden structure, and :func:`shuffle_rows` destroys an existing
+good ordering to a controllable degree.  Together they let the benchmarks
+dial in how much a reordering pass can recover -- which is how the
+SuiteSparse stand-ins (``repro.matrices.suitesparse``) mimic the per-matrix
+reordering gains reported in Figure 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats import COOMatrix, CSRMatrix
+
+__all__ = ["hidden_cluster_matrix", "shuffle_rows", "add_dense_rows"]
+
+
+def hidden_cluster_matrix(
+    nrows: int,
+    ncols: int,
+    *,
+    cluster_size: int = 16,
+    segments_per_cluster: int = 12,
+    segment_width: int = 8,
+    row_fill: float = 0.8,
+    noise_nnz_per_row: float = 1.0,
+    shuffle: bool = True,
+    dtype=np.float32,
+    rng: np.random.Generator | None = None,
+) -> CSRMatrix:
+    """Matrix whose rows form hidden clusters with shared column segments.
+
+    Rows are partitioned into clusters of ``cluster_size`` consecutive rows
+    (before shuffling).  Each cluster selects ``segments_per_cluster``
+    random column segments of width ``segment_width``; every row of the
+    cluster contains a random fraction ``row_fill`` of the cluster's
+    columns, plus ``noise_nnz_per_row`` uniformly random "noise" entries.
+    Finally the rows are shuffled (``shuffle=True``) so that the input
+    ordering hides the clusters.
+
+    With ``shuffle=True`` a similarity-based row reordering can reduce the
+    BCSR block count by roughly ``cluster_size / block_height``; with
+    ``shuffle=False`` the matrix is already well ordered and reordering has
+    little effect.
+    """
+    rng = rng or np.random.default_rng(0)
+    cs = int(cluster_size)
+    n_clusters = max(1, nrows // cs)
+
+    seg_starts = rng.integers(
+        0, max(1, ncols - segment_width), size=(n_clusters, segments_per_cluster)
+    )
+    # columns of each cluster: union of its segments
+    seg_offsets = np.arange(segment_width, dtype=np.int64)
+
+    rows_list = []
+    cols_list = []
+    for c in range(n_clusters):
+        cluster_cols = np.unique(
+            (seg_starts[c][:, None] + seg_offsets[None, :]).ravel()
+        )
+        row_ids = np.arange(c * cs, min(nrows, (c + 1) * cs), dtype=np.int64)
+        n_keep = max(1, int(round(row_fill * cluster_cols.size)))
+        # each row keeps a random subset of the cluster columns
+        keys = rng.random((row_ids.size, cluster_cols.size))
+        keep_idx = np.argpartition(keys, n_keep - 1, axis=1)[:, :n_keep]
+        rows_list.append(np.repeat(row_ids, n_keep))
+        cols_list.append(cluster_cols[keep_idx].ravel())
+
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+
+    # uniform random noise entries
+    n_noise = int(round(noise_nnz_per_row * nrows))
+    if n_noise:
+        rows = np.concatenate([rows, rng.integers(0, nrows, size=n_noise, dtype=np.int64)])
+        cols = np.concatenate([cols, rng.integers(0, ncols, size=n_noise, dtype=np.int64)])
+
+    vals = rng.uniform(0.5, 1.5, size=rows.size).astype(dtype)
+    csr = COOMatrix(rows, cols, vals, (nrows, ncols)).to_csr()
+    if shuffle:
+        perm = rng.permutation(nrows)
+        csr = csr.permute_rows(perm)
+    return csr
+
+
+def shuffle_rows(
+    csr: CSRMatrix,
+    *,
+    fraction: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> CSRMatrix:
+    """Randomly permute a fraction of the rows of ``csr``.
+
+    ``fraction=1.0`` applies a full random permutation; smaller values
+    permute only a random subset of the rows among themselves, leaving the
+    remaining rows in place.  This controls how much structure a subsequent
+    reordering pass can recover.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    rng = rng or np.random.default_rng(0)
+    n = csr.nrows
+    perm = np.arange(n)
+    k = int(round(fraction * n))
+    if k >= 2:
+        chosen = rng.choice(n, size=k, replace=False)
+        shuffled = chosen.copy()
+        rng.shuffle(shuffled)
+        perm[chosen] = shuffled
+    return csr.permute_rows(perm)
+
+
+def add_dense_rows(
+    csr: CSRMatrix,
+    *,
+    n_dense_rows: int,
+    row_density: float = 0.05,
+    rng: np.random.Generator | None = None,
+) -> CSRMatrix:
+    """Overlay a few very dense rows onto an existing matrix.
+
+    Used to inject the row-imbalance (hub rows) that makes static per-row
+    parallel schedules struggle -- e.g. the ``mip1`` and ``dc2`` stand-ins.
+    """
+    rng = rng or np.random.default_rng(0)
+    coo = csr.to_coo()
+    nrows, ncols = csr.shape
+    dense_rows = rng.choice(nrows, size=min(n_dense_rows, nrows), replace=False)
+    per_row = max(1, int(round(row_density * ncols)))
+    new_rows = np.repeat(dense_rows.astype(np.int64), per_row)
+    new_cols = rng.integers(0, ncols, size=new_rows.size, dtype=np.int64)
+    new_vals = rng.uniform(0.5, 1.5, size=new_rows.size).astype(csr.dtype)
+    rows = np.concatenate([coo.row, new_rows])
+    cols = np.concatenate([coo.col, new_cols])
+    vals = np.concatenate([coo.val, new_vals])
+    return COOMatrix(rows, cols, vals, csr.shape).to_csr()

@@ -1,0 +1,73 @@
+"""Sparse-matrix reordering (preprocessing) algorithms.
+
+SMaT's preprocessing step permutes the rows of the sparse matrix to
+minimise the number of non-zero BCSR blocks (paper Section IV-C).  This
+package implements the algorithms the paper evaluates:
+
+* :class:`~repro.reorder.jaccard.JaccardReorderer` -- Sylos Labini et al.
+  Jaccard-similarity clustering, SMaT's default,
+* :class:`~repro.reorder.rcm.RCMReorderer` -- Reverse Cuthill--McKee,
+* :class:`~repro.reorder.saad.SaadReorderer` -- Saad's cosine-similarity
+  grouping,
+* :class:`~repro.reorder.graycode.GrayCodeReorderer` -- Gray-code ordering
+  (Zhao et al.),
+* :class:`~repro.reorder.hypergraph.HypergraphReorderer` -- recursive
+  bisection in the spirit of hypergraph partitioners,
+* :class:`~repro.reorder.identity.IdentityReorderer` -- no-op baseline.
+
+Use :func:`get_reorderer` to instantiate by name, and
+:mod:`repro.reorder.metrics` to evaluate blocking quality.
+"""
+
+from .base import (
+    Reorderer,
+    ReorderResult,
+    available_reorderers,
+    get_reorderer,
+    identity_permutation,
+    register_reorderer,
+)
+from .graycode import GrayCodeReorderer
+from .hypergraph import HypergraphReorderer
+from .identity import IdentityReorderer
+from .jaccard import JaccardReorderer, jaccard_distance
+from .metrics import (
+    BlockingStats,
+    block_coordinates,
+    blocking_stats,
+    blocks_per_block_row,
+    count_blocks,
+)
+from .rcm import RCMReorderer, rcm_permutation
+from .saad import SaadReorderer, cosine_similarity
+
+register_reorderer("identity", IdentityReorderer)
+register_reorderer("none", IdentityReorderer)
+register_reorderer("jaccard", JaccardReorderer)
+register_reorderer("rcm", RCMReorderer)
+register_reorderer("saad", SaadReorderer)
+register_reorderer("graycode", GrayCodeReorderer)
+register_reorderer("hypergraph", HypergraphReorderer)
+
+__all__ = [
+    "Reorderer",
+    "ReorderResult",
+    "available_reorderers",
+    "get_reorderer",
+    "register_reorderer",
+    "identity_permutation",
+    "IdentityReorderer",
+    "JaccardReorderer",
+    "jaccard_distance",
+    "RCMReorderer",
+    "rcm_permutation",
+    "SaadReorderer",
+    "cosine_similarity",
+    "GrayCodeReorderer",
+    "HypergraphReorderer",
+    "BlockingStats",
+    "blocking_stats",
+    "blocks_per_block_row",
+    "block_coordinates",
+    "count_blocks",
+]

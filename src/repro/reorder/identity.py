@@ -1,0 +1,28 @@
+"""Identity (no-op) reordering.
+
+Used as the "base" configuration of the reordering experiments
+(Figures 4-7 compare base / row / row+column) and as the default when a
+matrix is known to be well-structured already -- the paper notes that for
+band matrices the optimal permutation *is* the identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from .base import Reorderer, identity_permutation
+
+__all__ = ["IdentityReorderer"]
+
+
+class IdentityReorderer(Reorderer):
+    """Return the identity permutation for rows (and columns)."""
+
+    name = "identity"
+
+    def compute_row_perm(self, csr: CSRMatrix) -> np.ndarray:
+        return identity_permutation(csr.nrows)
+
+    def compute_col_perm(self, csr: CSRMatrix) -> np.ndarray:
+        return identity_permutation(csr.ncols)

@@ -1,0 +1,162 @@
+"""Blocking metrics used to evaluate reordering quality.
+
+The paper's preprocessing step is judged by two quantities (Section VI-A,
+Figure 3):
+
+* the total number of non-zero BCSR blocks ``n_e`` (fewer blocks = fewer
+  Tensor-Core MMA operations, Eq. 1), and
+* the *distribution* of blocks per block-row -- its standard deviation /
+  coefficient of variation determines the load balance of SMaT's static
+  2-D parallel schedule.
+
+The helpers below compute these metrics directly from a CSR matrix and a
+candidate permutation *without* materialising the BCSR blocks, so that
+reordering heuristics can evaluate many candidate orderings cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..formats import CSRMatrix
+
+__all__ = [
+    "BlockingStats",
+    "block_coordinates",
+    "count_blocks",
+    "blocks_per_block_row",
+    "blocking_stats",
+    "block_row_support",
+]
+
+
+@dataclass(frozen=True)
+class BlockingStats:
+    """Summary of the blocking produced by a (possibly permuted) matrix."""
+
+    n_blocks: int
+    n_block_rows: int
+    mean_blocks_per_row: float
+    std_blocks_per_row: float
+    max_blocks_per_row: int
+    padding_zeros: int
+    fill_in_ratio: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation of the blocks-per-row distribution."""
+        return self.std_blocks_per_row / self.mean_blocks_per_row if self.mean_blocks_per_row else 0.0
+
+
+def _apply_perms(
+    csr: CSRMatrix,
+    row_perm: Optional[np.ndarray],
+    col_perm: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (rows, cols) coordinate arrays of the permuted matrix."""
+    rows = np.repeat(np.arange(csr.nrows, dtype=np.int64), np.diff(csr.rowptr))
+    cols = csr.col.astype(np.int64, copy=False)
+    if row_perm is not None:
+        row_perm = np.asarray(row_perm, dtype=np.int64)
+        inv = np.empty_like(row_perm)
+        inv[row_perm] = np.arange(row_perm.size, dtype=np.int64)
+        rows = inv[rows]
+    if col_perm is not None:
+        col_perm = np.asarray(col_perm, dtype=np.int64)
+        inv = np.empty_like(col_perm)
+        inv[col_perm] = np.arange(col_perm.size, dtype=np.int64)
+        cols = inv[cols]
+    return rows, cols
+
+
+def block_coordinates(
+    csr: CSRMatrix,
+    block_shape: Tuple[int, int],
+    *,
+    row_perm: Optional[np.ndarray] = None,
+    col_perm: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Unique linear block ids touched by the (permuted) matrix.
+
+    The linear id of block ``(I, J)`` is ``I * n_block_cols + J``.
+    """
+    h, w = int(block_shape[0]), int(block_shape[1])
+    rows, cols = _apply_perms(csr, row_perm, col_perm)
+    n_block_cols = -(-csr.ncols // w) if csr.ncols else 0
+    block_ids = (rows // h) * n_block_cols + (cols // w)
+    return np.unique(block_ids)
+
+
+def count_blocks(
+    csr: CSRMatrix,
+    block_shape: Tuple[int, int],
+    *,
+    row_perm: Optional[np.ndarray] = None,
+    col_perm: Optional[np.ndarray] = None,
+) -> int:
+    """Number of non-zero BCSR blocks of the (permuted) matrix."""
+    return int(block_coordinates(csr, block_shape, row_perm=row_perm, col_perm=col_perm).size)
+
+
+def blocks_per_block_row(
+    csr: CSRMatrix,
+    block_shape: Tuple[int, int],
+    *,
+    row_perm: Optional[np.ndarray] = None,
+    col_perm: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Number of non-zero blocks in each block row of the (permuted) matrix."""
+    h, w = int(block_shape[0]), int(block_shape[1])
+    n_block_rows = -(-csr.nrows // h) if csr.nrows else 0
+    n_block_cols = -(-csr.ncols // w) if csr.ncols else 0
+    ids = block_coordinates(csr, block_shape, row_perm=row_perm, col_perm=col_perm)
+    brows = ids // n_block_cols if n_block_cols else ids
+    return np.bincount(brows, minlength=n_block_rows)
+
+
+def blocking_stats(
+    csr: CSRMatrix,
+    block_shape: Tuple[int, int],
+    *,
+    row_perm: Optional[np.ndarray] = None,
+    col_perm: Optional[np.ndarray] = None,
+) -> BlockingStats:
+    """Full blocking summary (block count, distribution, padding) of the
+    (permuted) matrix."""
+    h, w = int(block_shape[0]), int(block_shape[1])
+    bpr = blocks_per_block_row(csr, block_shape, row_perm=row_perm, col_perm=col_perm)
+    n_blocks = int(bpr.sum())
+    stored = n_blocks * h * w
+    nnz = csr.nnz
+    mean = float(bpr.mean()) if bpr.size else 0.0
+    return BlockingStats(
+        n_blocks=n_blocks,
+        n_block_rows=int(bpr.size),
+        mean_blocks_per_row=mean,
+        std_blocks_per_row=float(bpr.std()) if bpr.size else 0.0,
+        max_blocks_per_row=int(bpr.max()) if bpr.size else 0,
+        padding_zeros=stored - nnz,
+        fill_in_ratio=(stored / nnz) if nnz else 0.0,
+    )
+
+
+def block_row_support(csr: CSRMatrix, block_width: int) -> list[np.ndarray]:
+    """Per-row block-column support sets.
+
+    Returns a list of sorted arrays: entry ``i`` holds the distinct block
+    columns (``col // block_width``) touched by row ``i``.  This is the
+    representation on which the similarity-based reordering heuristics
+    (Jaccard, Saad) operate.
+    """
+    w = int(block_width)
+    supports: list[np.ndarray] = []
+    for i in range(csr.nrows):
+        lo, hi = int(csr.rowptr[i]), int(csr.rowptr[i + 1])
+        if hi == lo:
+            supports.append(np.empty(0, dtype=np.int64))
+        else:
+            supports.append(np.unique(csr.col[lo:hi] // w).astype(np.int64))
+    return supports

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix
+from repro.matrices import band_matrix, block_random, uniform_random
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_dense(rng) -> np.ndarray:
+    """A small dense matrix with ~50% zeros and both signs."""
+    dense = rng.normal(size=(37, 53)).astype(np.float32)
+    dense[rng.random(dense.shape) < 0.5] = 0.0
+    return dense
+
+
+@pytest.fixture
+def small_csr(small_dense) -> CSRMatrix:
+    return CSRMatrix.from_dense(small_dense)
+
+
+@pytest.fixture
+def small_coo(small_dense) -> COOMatrix:
+    return COOMatrix.from_dense(small_dense)
+
+
+@pytest.fixture
+def medium_random(rng) -> CSRMatrix:
+    """A 512 x 512 random sparse matrix (~1% density)."""
+    return uniform_random(512, 512, density=0.01, rng=rng)
+
+
+@pytest.fixture
+def small_band() -> CSRMatrix:
+    return band_matrix(256, 8, rng=np.random.default_rng(7))
+
+
+@pytest.fixture
+def blocky_matrix(rng) -> CSRMatrix:
+    """Matrix with an exact 16x8 block structure (no padding)."""
+    return block_random(256, 256, (16, 8), block_density=0.1, fill=1.0, rng=rng)
+
+
+@pytest.fixture
+def dense_B(rng) -> np.ndarray:
+    """Right-hand side usable with the 53-column small matrices."""
+    return rng.normal(size=(53, 8)).astype(np.float32)

@@ -1,0 +1,70 @@
+"""Tests for the CSV/JSON export helpers."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import measurements_to_rows, rows_to_csv, rows_to_json
+from repro.core import compare_libraries
+from repro.matrices import uniform_random
+
+
+@pytest.fixture
+def rows():
+    return [
+        {"matrix": "m1", "SMaT": 100.0, "DASP": 25.0},
+        {"matrix": "m2", "SMaT": 200.0, "cuSPARSE": 10.0},
+    ]
+
+
+class TestCSV:
+    def test_roundtrip(self, rows, tmp_path):
+        path = rows_to_csv(rows, tmp_path / "out.csv")
+        with path.open() as fh:
+            read = list(csv.DictReader(fh))
+        assert len(read) == 2
+        assert read[0]["matrix"] == "m1"
+        assert float(read[0]["SMaT"]) == 100.0
+
+    def test_union_of_columns(self, rows, tmp_path):
+        path = rows_to_csv(rows, tmp_path / "out.csv")
+        header = path.read_text().splitlines()[0].split(",")
+        assert header == ["matrix", "SMaT", "DASP", "cuSPARSE"]
+
+    def test_missing_values_empty(self, rows, tmp_path):
+        path = rows_to_csv(rows, tmp_path / "out.csv")
+        with path.open() as fh:
+            read = list(csv.DictReader(fh))
+        assert read[1]["DASP"] == ""
+
+    def test_empty_rows(self, tmp_path):
+        path = rows_to_csv([], tmp_path / "empty.csv")
+        assert path.read_text().strip() == ""
+
+
+class TestJSON:
+    def test_roundtrip(self, rows, tmp_path):
+        path = rows_to_json(rows, tmp_path / "out.json")
+        data = json.loads(path.read_text())
+        assert data[1]["SMaT"] == 200.0
+
+    def test_numpy_scalars_serialised(self, tmp_path):
+        rows = [{"x": np.float64(1.5), "y": np.int64(3)}]
+        path = rows_to_json(rows, tmp_path / "np.json")
+        data = json.loads(path.read_text())
+        assert data[0]["x"] == 1.5
+        assert data[0]["y"] == 3.0
+
+
+class TestMeasurementsExport:
+    def test_full_pipeline_export(self, rng, tmp_path):
+        A = uniform_random(256, 256, density=0.02, rng=rng)
+        B = rng.normal(size=(256, 4)).astype(np.float32)
+        measurements = compare_libraries(A, B, libraries=("smat", "cusparse"))
+        rows = measurements_to_rows(measurements)
+        assert [r["library"] for r in rows] == ["SMaT", "cuSPARSE"]
+        path = rows_to_csv(rows, tmp_path / "comparison.csv")
+        content = path.read_text()
+        assert "SMaT" in content and "gflops" in content

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.matrix == "cop20k_A"
+        assert args.n == 8
+
+    def test_band_arguments(self):
+        args = build_parser().parse_args(["band", "--size", "1024", "--n", "16"])
+        assert args.size == 1024
+        assert args.n == 16
+
+
+class TestCommands:
+    def test_matrices_listing(self, capsys):
+        assert main(["matrices"]) == 0
+        out = capsys.readouterr().out
+        assert "cop20k_A" in out and "dc2" in out
+        assert "Table I" in out
+
+    def test_compare_command(self, capsys):
+        code = main([
+            "compare", "--matrix", "dc2", "--scale", "0.03", "--n", "4",
+            "--libraries", "smat,cusparse",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SMaT" in out and "cuSPARSE" in out
+        assert "GFLOP/s" in out
+
+    def test_reorder_command(self, capsys):
+        code = main([
+            "reorder", "--matrix", "cop20k_A", "--scale", "0.03",
+            "--algorithms", "jaccard,graycode",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jaccard" in out and "graycode" in out
+        assert "reduction" in out
+
+    def test_band_command(self, capsys):
+        code = main(["band", "--size", "512", "--n", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cuBLAS" in out and "SMaT" in out

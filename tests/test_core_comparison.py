@@ -1,0 +1,138 @@
+"""Tests for the library-comparison harness and analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    coefficient_of_variation,
+    distribution_summary,
+    format_speedup_summary,
+    format_table,
+    geometric_mean,
+    histogram,
+    series_to_rows,
+    speedup_summary,
+)
+from repro.core import DEFAULT_LIBRARIES, SMaTConfig, compare_libraries
+from repro.gpu import A100_SXM4_40GB
+from repro.matrices import uniform_random
+
+
+@pytest.fixture
+def problem(rng):
+    A = uniform_random(768, 768, density=0.01, rng=rng)
+    B = rng.normal(size=(768, 8)).astype(np.float32)
+    return A, B
+
+
+class TestCompareLibraries:
+    def test_default_libraries_all_run(self, problem):
+        A, B = problem
+        results = compare_libraries(A, B)
+        assert [r.library for r in results] == ["SMaT", "DASP", "Magicube", "cuSPARSE"]
+        assert all(r.supported for r in results)
+        assert all(r.correct for r in results)
+
+    def test_includes_cublas_when_requested(self, problem):
+        A, B = problem
+        results = compare_libraries(A, B, libraries=["smat", "cublas"])
+        assert results[1].library == "cuBLAS"
+        assert results[1].correct
+
+    def test_unsupported_library_reported_not_raised(self, problem):
+        A, B = problem
+        tiny_gpu = A100_SXM4_40GB.with_overrides(hbm_capacity_gib=0.0001)
+        results = compare_libraries(
+            A, B, libraries=["magicube"], config=SMaTConfig(arch=tiny_gpu)
+        )
+        assert not results[0].supported
+        assert results[0].error is not None
+        assert results[0].time_ms == float("inf")
+
+    def test_speedup_over(self, problem):
+        A, B = problem
+        smat, dasp = compare_libraries(A, B, libraries=["smat", "dasp"])
+        assert smat.speedup_over(dasp) == pytest.approx(dasp.time_ms / smat.time_ms)
+
+    def test_smat_meta_contains_block_reduction(self, problem):
+        A, B = problem
+        (smat,) = compare_libraries(A, B, libraries=["smat"])
+        assert "block_reduction" in smat.meta
+
+    def test_correctness_check_can_be_skipped(self, problem):
+        A, B = problem
+        results = compare_libraries(A, B, libraries=["smat"], check_correctness=False)
+        assert results[0].correct is None
+
+    def test_default_library_tuple_matches_paper(self):
+        assert tuple(DEFAULT_LIBRARIES) == ("smat", "dasp", "magicube", "cusparse")
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+        assert np.isnan(geometric_mean([]))
+
+    def test_geometric_mean_ignores_invalid(self):
+        assert geometric_mean([4.0, 0.0, float("nan"), 1.0]) == pytest.approx(2.0)
+
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_speedup_summary(self):
+        out = speedup_summary([10.0, 10.0], [1.0, 5.0])
+        assert out["max"] == pytest.approx(10.0)
+        assert out["min"] == pytest.approx(2.0)
+        assert out["geomean"] == pytest.approx(np.sqrt(20.0))
+
+    def test_speedup_summary_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            speedup_summary([1.0], [1.0, 2.0])
+
+    def test_distribution_summary(self):
+        s = distribution_summary([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.total == 10.0
+        assert s.count == 4
+        assert s.maximum == 4.0
+
+    def test_distribution_summary_empty(self):
+        assert distribution_summary([]).count == 0
+
+    def test_histogram_linear_and_log(self):
+        counts, edges = histogram([1, 2, 3, 100], bins=5)
+        assert counts.sum() == 4
+        counts_log, edges_log = histogram([1, 2, 3, 100], bins=5, log=True)
+        assert counts_log.sum() == 4
+        assert edges_log[0] > 0
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"name": "a", "value": 1.23456}, {"name": "bb", "value": 7.0}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([])
+
+    def test_format_table_handles_nan_and_inf(self):
+        text = format_table([{"x": float("nan"), "y": float("inf")}])
+        assert "n/a" in text and "inf" in text
+
+    def test_series_to_rows(self):
+        rows = series_to_rows("N", [1, 2], {"SMaT": [0.1, 0.2], "DASP": [0.3, 0.4]})
+        assert rows[0] == {"N": 1, "SMaT": 0.1, "DASP": 0.3}
+        assert rows[1]["DASP"] == 0.4
+
+    def test_format_speedup_summary(self):
+        smat = {"m1": 1.0, "m2": 2.0}
+        baselines = {"cuSPARSE": {"m1": 10.0, "m2": 10.0}, "DASP": {"m1": 2.0}}
+        text = format_speedup_summary(smat, baselines)
+        assert "cuSPARSE" in text and "DASP" in text
+        assert "geomean_speedup" in text

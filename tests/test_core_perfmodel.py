@@ -1,0 +1,104 @@
+"""Tests for the empirical performance model (paper Section III)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearPerformanceModel, block_count_bounds
+from repro.kernels import SMaTKernel
+from repro.matrices import band_matrix
+
+
+class TestBlockCountBounds:
+    def test_eq2_formula(self):
+        lower, upper = block_count_bounds(nnz=1000, n_rows=128, n_cols=128, block_shape=(16, 8))
+        assert lower == -(-1000 // 128)
+        assert upper == min((128 // 16) * (128 // 8), 1000)
+
+    def test_empty_matrix(self):
+        assert block_count_bounds(0, 64, 64, (16, 8)) == (0, 0)
+
+    def test_dense_matrix_upper_bound_is_grid(self):
+        lower, upper = block_count_bounds(64 * 64, 64, 64, (16, 8))
+        assert upper == (64 // 16) * (64 // 8)
+        assert lower == upper
+
+    def test_invalid_block_shape(self):
+        with pytest.raises(ValueError):
+            block_count_bounds(10, 8, 8, (0, 4))
+
+
+class TestLinearFit:
+    def test_recovers_exact_linear_relation(self):
+        model = LinearPerformanceModel()
+        n_e = np.array([100.0, 500.0, 1000.0, 5000.0, 10000.0])
+        t = 2e-9 * n_e + 5e-6
+        fit = model.fit(n_e, t)
+        assert fit.t_e == pytest.approx(2e-9, rel=1e-6)
+        assert fit.t_init == pytest.approx(5e-6, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_prediction(self):
+        model = LinearPerformanceModel()
+        model.fit([1.0, 2.0, 3.0], [10.0, 20.0, 30.0])
+        np.testing.assert_allclose(model.predict([4.0, 5.0]), [40.0, 50.0], rtol=0.05)
+
+    def test_negative_intercept_clamped(self):
+        model = LinearPerformanceModel()
+        fit = model.fit([10.0, 20.0, 30.0], [0.9, 2.1, 2.9])
+        assert fit.t_init >= 0.0
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            LinearPerformanceModel().fit([1.0], [1.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            LinearPerformanceModel().fit([1.0, 2.0], [1.0])
+
+    def test_unfitted_model_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearPerformanceModel().predict([1.0])
+
+    def test_relative_error(self):
+        model = LinearPerformanceModel()
+        fit = model.fit([1.0, 2.0, 4.0], [2.0, 4.0, 8.0])
+        errors = fit.relative_error([1.0, 2.0, 4.0], [2.0, 4.0, 8.0])
+        assert np.all(errors < 0.01)
+
+
+class TestModelAgainstSimulatedKernel:
+    """Figure 2: the linear model must describe the simulated SMaT kernel on
+    band matrices of varying bandwidth (that is exactly how the paper fits
+    and validates Eq. 1)."""
+
+    @pytest.fixture(scope="class")
+    def band_sweep_results(self):
+        results = []
+        rng = np.random.default_rng(0)
+        n = 4096
+        B = rng.normal(size=(n, 8)).astype(np.float32)
+        for bandwidth in (16, 32, 64, 128, 256):
+            A = band_matrix(n, bandwidth, rng=rng)
+            results.append(SMaTKernel().multiply(A, B))
+        return results
+
+    def test_fit_quality(self, band_sweep_results):
+        model = LinearPerformanceModel()
+        fit = model.fit_from_results(band_sweep_results)
+        assert fit.r_squared > 0.95
+
+    def test_time_per_block_is_physically_plausible(self, band_sweep_results):
+        fit = LinearPerformanceModel().fit_from_results(band_sweep_results)
+        # T_e must be below a microsecond per block and above a picosecond
+        assert 1e-12 < fit.t_e < 1e-6
+
+    def test_model_predicts_unseen_bandwidth(self, band_sweep_results):
+        model = LinearPerformanceModel()
+        model.fit_from_results(band_sweep_results)
+        rng = np.random.default_rng(1)
+        n = 4096
+        A = band_matrix(n, 192, rng=rng)
+        B = rng.normal(size=(n, 8)).astype(np.float32)
+        result = SMaTKernel().multiply(A, B)
+        predicted = model.predict([result.counters.extra["n_blocks"]])[0]
+        assert predicted == pytest.approx(result.timing.time_s, rel=0.35)

@@ -1,0 +1,151 @@
+"""Unit tests for the BCSR format (SMaT's internal format)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import BCSRMatrix, CSRMatrix
+from repro.matrices import band_matrix, block_random, uniform_random
+
+
+class TestConversion:
+    def test_roundtrip_to_dense(self, small_dense):
+        bcsr = BCSRMatrix.from_dense(small_dense, (4, 4))
+        np.testing.assert_allclose(bcsr.to_dense(), small_dense)
+
+    def test_roundtrip_non_divisible_shape(self, rng):
+        dense = rng.normal(size=(17, 23)).astype(np.float32)
+        dense[rng.random(dense.shape) < 0.6] = 0.0
+        bcsr = BCSRMatrix.from_dense(dense, (16, 8))
+        np.testing.assert_allclose(bcsr.to_dense(), dense)
+
+    def test_roundtrip_to_csr(self, small_csr):
+        bcsr = BCSRMatrix.from_csr(small_csr, (8, 4))
+        np.testing.assert_allclose(bcsr.to_csr().to_dense(), small_csr.to_dense())
+
+    def test_roundtrip_to_coo(self, small_csr):
+        bcsr = BCSRMatrix.from_csr(small_csr, (3, 5))
+        np.testing.assert_allclose(bcsr.to_coo().to_dense(), small_csr.to_dense())
+
+    def test_empty_matrix(self):
+        bcsr = BCSRMatrix.from_csr(CSRMatrix.empty((32, 32)), (16, 8))
+        assert bcsr.n_blocks == 0
+        assert bcsr.nnz == 0
+        assert not bcsr.to_dense().any()
+
+    def test_block_grid_dimensions(self):
+        csr = CSRMatrix.from_dense(np.ones((33, 17), dtype=np.float32))
+        bcsr = BCSRMatrix.from_csr(csr, (16, 8))
+        assert bcsr.n_block_rows == 3
+        assert bcsr.n_block_cols == 3
+
+    def test_invalid_block_shape(self, small_csr):
+        with pytest.raises(ValueError):
+            BCSRMatrix.from_csr(small_csr, (0, 8))
+
+
+class TestBlockAccounting:
+    def test_single_entry_one_block(self):
+        dense = np.zeros((32, 32), dtype=np.float32)
+        dense[5, 9] = 3.0
+        bcsr = BCSRMatrix.from_dense(dense, (16, 8))
+        assert bcsr.n_blocks == 1
+        assert bcsr.nnz == 1
+        assert bcsr.padding_zeros == 16 * 8 - 1
+
+    def test_block_placement(self):
+        dense = np.zeros((32, 32), dtype=np.float32)
+        dense[20, 30] = 1.0  # block row 1, block col 3 for (16, 8)
+        bcsr = BCSRMatrix.from_dense(dense, (16, 8))
+        assert list(bcsr.blocks_per_row()) == [0, 1]
+        assert bcsr.bcol[0] == 3
+        assert bcsr.blocks[0][20 - 16, 30 - 24] == 1.0
+
+    def test_dense_blocks_have_no_padding(self, blocky_matrix):
+        bcsr = BCSRMatrix.from_csr(blocky_matrix, (16, 8))
+        assert bcsr.padding_zeros == 0
+        assert bcsr.fill_in_ratio == pytest.approx(1.0)
+        assert np.all(bcsr.block_density() == 1.0)
+
+    def test_figure1_example_counts(self):
+        # the 8x8 example of Figure 1: 28 nonzeros produce 13 blocks of 2x2
+        # with 24 padding zeros in the original ordering
+        dense = np.zeros((8, 8), dtype=np.float32)
+        pattern = {
+            0: [6, 7],
+            1: [0, 1, 2, 3, 4],
+            2: [2, 3, 4, 5],
+            3: [0, 1, 6, 7],
+            4: [2, 3, 4, 5],
+            5: [0, 1, 6],
+            6: [2, 3, 4, 5],
+            7: [0, 1, 7],
+        }
+        for r, cols in pattern.items():
+            for c in cols:
+                dense[r, c] = 1.0
+        bcsr = BCSRMatrix.from_dense(dense, (2, 2))
+        lower, upper = bcsr.block_count_bounds()
+        assert lower <= bcsr.n_blocks <= upper
+        assert bcsr.stored_values == bcsr.n_blocks * 4
+        assert bcsr.padding_zeros == bcsr.stored_values - bcsr.nnz
+
+    def test_eq2_bounds_hold_for_random_matrices(self, rng):
+        for density in (0.001, 0.01, 0.05):
+            csr = uniform_random(128, 128, density=density, rng=rng)
+            bcsr = BCSRMatrix.from_csr(csr, (16, 8))
+            lower, upper = bcsr.block_count_bounds()
+            assert lower <= bcsr.n_blocks <= upper
+
+    def test_band_matrix_blocks_are_dense(self):
+        # paper Section VI-C: for band matrices BCSR blocks are already dense
+        A = band_matrix(512, 64, rng=np.random.default_rng(0))
+        bcsr = BCSRMatrix.from_csr(A, (16, 8))
+        assert bcsr.fill_in_ratio < 1.3
+
+    def test_blocks_per_row_sums_to_total(self, medium_random):
+        bcsr = BCSRMatrix.from_csr(medium_random, (16, 8))
+        assert bcsr.blocks_per_row().sum() == bcsr.n_blocks
+
+    def test_row_block_stats(self, medium_random):
+        bcsr = BCSRMatrix.from_csr(medium_random, (16, 8))
+        stats = bcsr.row_block_stats()
+        assert stats["n_blocks"] == bcsr.n_blocks
+        assert stats["mean"] == pytest.approx(bcsr.blocks_per_row().mean())
+        assert stats["max"] == bcsr.blocks_per_row().max()
+
+    def test_memory_footprint_grows_with_padding(self):
+        dense_block = np.zeros((32, 32), dtype=np.float32)
+        dense_block[:16, :8] = 1.0
+        scattered = np.zeros((32, 32), dtype=np.float32)
+        scattered[::16, ::8] = 1.0  # 2x4 = 8 separate blocks, 1 nnz each
+        packed = BCSRMatrix.from_dense(dense_block, (16, 8))
+        spread = BCSRMatrix.from_dense(scattered, (16, 8))
+        assert spread.n_blocks > packed.n_blocks
+        assert spread.memory_footprint_bytes() > packed.memory_footprint_bytes()
+
+
+class TestSpMM:
+    def test_spmm_matches_reference(self, small_csr, rng):
+        bcsr = BCSRMatrix.from_csr(small_csr, (16, 8))
+        B = rng.normal(size=(small_csr.ncols, 6)).astype(np.float32)
+        np.testing.assert_allclose(bcsr.spmm(B), small_csr.spmm(B), rtol=1e-4, atol=1e-4)
+
+    def test_spmm_with_padding_columns(self, rng):
+        # K not a multiple of the block width: B must be padded internally
+        dense = rng.normal(size=(20, 13)).astype(np.float32)
+        dense[rng.random(dense.shape) < 0.5] = 0.0
+        bcsr = BCSRMatrix.from_dense(dense, (16, 8))
+        B = rng.normal(size=(13, 4)).astype(np.float32)
+        np.testing.assert_allclose(bcsr.spmm(B), dense @ B, rtol=1e-4, atol=1e-4)
+
+    def test_spmv(self, small_csr, rng):
+        bcsr = BCSRMatrix.from_csr(small_csr, (8, 8))
+        x = rng.normal(size=small_csr.ncols).astype(np.float32)
+        np.testing.assert_allclose(bcsr.spmv(x), small_csr.spmv(x), rtol=1e-4, atol=1e-4)
+
+    def test_various_block_shapes(self, small_csr, rng):
+        B = rng.normal(size=(small_csr.ncols, 3)).astype(np.float32)
+        ref = small_csr.spmm(B)
+        for shape in [(2, 2), (4, 8), (16, 16), (7, 3)]:
+            bcsr = BCSRMatrix.from_csr(small_csr, shape)
+            np.testing.assert_allclose(bcsr.spmm(B), ref, rtol=1e-4, atol=1e-4)

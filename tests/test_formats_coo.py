@@ -1,0 +1,114 @@
+"""Unit tests for the COO format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(coo.to_dense(), small_dense)
+
+    def test_nnz_matches_dense(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        assert coo.nnz == np.count_nonzero(small_dense)
+
+    def test_shape_and_dims(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        assert coo.shape == small_dense.shape
+        assert coo.nrows == small_dense.shape[0]
+        assert coo.ncols == small_dense.shape[1]
+
+    def test_empty_matrix(self):
+        coo = COOMatrix.empty((5, 7))
+        assert coo.nnz == 0
+        assert coo.to_dense().shape == (5, 7)
+        assert not coo.to_dense().any()
+
+    def test_explicit_entries(self):
+        coo = COOMatrix([0, 1, 2], [2, 0, 1], [1.0, 2.0, 3.0], (3, 3))
+        dense = coo.to_dense()
+        assert dense[0, 2] == 1.0
+        assert dense[1, 0] == 2.0
+        assert dense[2, 1] == 3.0
+
+    def test_duplicates_are_summed(self):
+        coo = COOMatrix([0, 0, 1], [1, 1, 0], [1.0, 2.0, 5.0], (2, 2))
+        assert coo.nnz == 2
+        assert coo.to_dense()[0, 1] == pytest.approx(3.0)
+
+    def test_duplicates_rejected_when_requested(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            COOMatrix([0, 0], [1, 1], [1.0, 2.0], (2, 2), sum_duplicates=False)
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix([0, 5], [0, 0], [1.0, 1.0], (3, 3))
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix([0, -1], [0, 0], [1.0, 1.0], (3, 3))
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix([0, 1], [0], [1.0, 2.0], (3, 3))
+
+    def test_canonical_ordering(self):
+        coo = COOMatrix([2, 0, 1], [0, 1, 2], [3.0, 1.0, 2.0], (3, 3))
+        assert list(coo.row) == [0, 1, 2]
+        assert list(coo.col) == [1, 2, 0]
+
+    def test_density_and_sparsity(self):
+        coo = COOMatrix([0], [0], [1.0], (10, 10))
+        assert coo.density == pytest.approx(0.01)
+        assert coo.sparsity == pytest.approx(0.99)
+
+
+class TestOperations:
+    def test_spmm_matches_dense(self, small_dense, rng):
+        coo = COOMatrix.from_dense(small_dense)
+        B = rng.normal(size=(small_dense.shape[1], 5)).astype(np.float32)
+        np.testing.assert_allclose(coo.spmm(B), small_dense @ B, rtol=1e-5, atol=1e-5)
+
+    def test_spmv_matches_dense(self, small_dense, rng):
+        coo = COOMatrix.from_dense(small_dense)
+        x = rng.normal(size=small_dense.shape[1]).astype(np.float32)
+        np.testing.assert_allclose(coo.spmv(x), small_dense @ x, rtol=1e-5, atol=1e-5)
+
+    def test_spmm_dimension_mismatch(self, small_coo):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            small_coo.spmm(np.zeros((small_coo.ncols + 1, 3)))
+
+    def test_transpose(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(coo.transpose().to_dense(), small_dense.T)
+
+    def test_permute_rows(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        perm = np.random.default_rng(3).permutation(small_dense.shape[0])
+        permuted = coo.permute(row_perm=perm)
+        np.testing.assert_allclose(permuted.to_dense(), small_dense[perm])
+
+    def test_permute_cols(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        perm = np.random.default_rng(4).permutation(small_dense.shape[1])
+        permuted = coo.permute(col_perm=perm)
+        np.testing.assert_allclose(permuted.to_dense(), small_dense[:, perm])
+
+    def test_memory_footprint_positive(self, small_coo):
+        assert small_coo.memory_footprint_bytes() > 0
+
+    def test_to_csr_roundtrip(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(coo.to_csr().to_dense(), small_dense)
+
+    def test_to_csc_roundtrip(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(coo.to_csc().to_dense(), small_dense)
+
+    def test_from_dense_tolerance(self):
+        dense = np.array([[1e-8, 1.0], [0.5, 1e-9]], dtype=np.float64)
+        coo = COOMatrix.from_dense(dense, tol=1e-6)
+        assert coo.nnz == 2

@@ -1,0 +1,163 @@
+"""Unit tests for the CSR format (the paper's input format)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(csr.to_dense(), small_dense)
+
+    def test_from_coo(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        csr = CSRMatrix.from_coo(coo)
+        np.testing.assert_allclose(csr.to_dense(), small_dense)
+
+    def test_scipy_roundtrip(self, small_dense):
+        sp = pytest.importorskip("scipy.sparse")
+        csr = CSRMatrix.from_scipy(sp.csr_matrix(small_dense))
+        np.testing.assert_allclose(csr.to_dense(), small_dense)
+        back = csr.to_scipy()
+        np.testing.assert_allclose(back.toarray(), small_dense)
+
+    def test_empty(self):
+        csr = CSRMatrix.empty((4, 6))
+        assert csr.nnz == 0
+        assert csr.to_dense().shape == (4, 6)
+
+    def test_invalid_rowptr_length(self):
+        with pytest.raises(ValueError, match="rowptr"):
+            CSRMatrix([0, 1], [0], [1.0], (3, 3))
+
+    def test_rowptr_must_be_monotone(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 2, 1, 2], [0, 1], [1.0, 2.0], (3, 3))
+
+    def test_rowptr_must_end_at_nnz(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 1, 1, 3], [0, 1], [1.0, 2.0], (3, 3))
+
+    def test_column_bounds_checked(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 1, 2, 2], [0, 7], [1.0, 2.0], (3, 3))
+
+    def test_unsorted_columns_are_sorted(self):
+        csr = CSRMatrix([0, 3, 3], [2, 0, 1], [3.0, 1.0, 2.0], (2, 3))
+        assert list(csr.row_indices(0)) == [0, 1, 2]
+        assert list(csr.row_values(0)) == [1.0, 2.0, 3.0]
+
+
+class TestStatistics:
+    def test_row_nnz(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        np.testing.assert_array_equal(
+            csr.row_nnz(), np.count_nonzero(small_dense, axis=1)
+        )
+
+    def test_col_nnz(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        np.testing.assert_array_equal(
+            csr.col_nnz(), np.count_nonzero(small_dense, axis=0)
+        )
+
+    def test_bandwidth_diagonal(self):
+        csr = CSRMatrix.from_dense(np.eye(5, dtype=np.float32))
+        assert csr.bandwidth() == 0
+
+    def test_bandwidth_offdiagonal(self):
+        dense = np.zeros((6, 6), dtype=np.float32)
+        dense[0, 4] = 1.0
+        dense[5, 5] = 2.0
+        assert CSRMatrix.from_dense(dense).bandwidth() == 4
+
+    def test_bandwidth_empty(self):
+        assert CSRMatrix.empty((4, 4)).bandwidth() == 0
+
+    def test_rows_iter_skips_empty_rows(self):
+        dense = np.zeros((4, 4), dtype=np.float32)
+        dense[1, 2] = 1.0
+        dense[3, 0] = 2.0
+        csr = CSRMatrix.from_dense(dense)
+        seen = [row for row, _, _ in csr.rows_iter()]
+        assert seen == [1, 3]
+
+
+class TestOperations:
+    def test_spmm_matches_dense(self, small_dense, rng):
+        csr = CSRMatrix.from_dense(small_dense)
+        B = rng.normal(size=(small_dense.shape[1], 9)).astype(np.float32)
+        np.testing.assert_allclose(csr.spmm(B), small_dense @ B, rtol=1e-5, atol=1e-5)
+
+    def test_spmv(self, small_dense, rng):
+        csr = CSRMatrix.from_dense(small_dense)
+        x = rng.normal(size=small_dense.shape[1]).astype(np.float32)
+        np.testing.assert_allclose(csr.spmv(x), small_dense @ x, rtol=1e-5, atol=1e-5)
+
+    def test_spmm_accepts_vector(self, small_dense, rng):
+        csr = CSRMatrix.from_dense(small_dense)
+        x = rng.normal(size=small_dense.shape[1]).astype(np.float32)
+        out = csr.spmm(x)
+        assert out.shape == (small_dense.shape[0], 1)
+
+    def test_transpose(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(csr.transpose().to_dense(), small_dense.T)
+
+    def test_to_coo_roundtrip(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(csr.to_coo().to_dense(), small_dense)
+
+    def test_to_csc_roundtrip(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(csr.to_csc().to_dense(), small_dense)
+
+
+class TestPermutations:
+    def test_permute_rows_matches_dense(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        perm = np.random.default_rng(0).permutation(small_dense.shape[0])
+        np.testing.assert_allclose(csr.permute_rows(perm).to_dense(), small_dense[perm])
+
+    def test_permute_cols_matches_dense(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        perm = np.random.default_rng(1).permutation(small_dense.shape[1])
+        np.testing.assert_allclose(csr.permute_cols(perm).to_dense(), small_dense[:, perm])
+
+    def test_permute_preserves_nnz(self, small_csr):
+        perm = np.random.default_rng(2).permutation(small_csr.nrows)
+        assert small_csr.permute_rows(perm).nnz == small_csr.nnz
+
+    def test_permute_rows_identity(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        ident = np.arange(small_dense.shape[0])
+        np.testing.assert_allclose(csr.permute_rows(ident).to_dense(), small_dense)
+
+    def test_permute_rows_rejects_non_permutation(self, small_csr):
+        bad = np.zeros(small_csr.nrows, dtype=np.int64)
+        with pytest.raises(ValueError):
+            small_csr.permute_rows(bad)
+
+    def test_permute_rows_rejects_wrong_length(self, small_csr):
+        with pytest.raises(ValueError):
+            small_csr.permute_rows(np.arange(small_csr.nrows + 1))
+
+    def test_permute_cols_rejects_non_permutation(self, small_csr):
+        with pytest.raises(ValueError):
+            small_csr.permute_cols(np.zeros(small_csr.ncols, dtype=np.int64))
+
+    def test_extract_rows(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        rows = np.array([3, 0, 10])
+        sub = csr.extract_rows(rows)
+        np.testing.assert_allclose(sub.to_dense(), small_dense[rows])
+
+    def test_permutation_roundtrip(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        perm = np.random.default_rng(5).permutation(small_dense.shape[0])
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(perm.size)
+        roundtrip = csr.permute_rows(perm).permute_rows(inverse)
+        np.testing.assert_allclose(roundtrip.to_dense(), small_dense)

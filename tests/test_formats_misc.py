@@ -1,0 +1,175 @@
+"""Unit tests for the dense wrapper, CSC, generic conversions and IO."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    BCSRMatrix,
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    DenseMatrix,
+    SRBCRSMatrix,
+    convert,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+class TestCSC:
+    def test_roundtrip(self, small_dense):
+        csc = CSCMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(csc.to_dense(), small_dense)
+
+    def test_spmm(self, small_dense, rng):
+        csc = CSCMatrix.from_dense(small_dense)
+        B = rng.normal(size=(small_dense.shape[1], 4)).astype(np.float32)
+        np.testing.assert_allclose(csc.spmm(B), small_dense @ B, rtol=1e-5, atol=1e-5)
+
+    def test_col_nnz(self, small_dense):
+        csc = CSCMatrix.from_dense(small_dense)
+        np.testing.assert_array_equal(csc.col_nnz(), np.count_nonzero(small_dense, axis=0))
+
+    def test_col_indices(self):
+        dense = np.zeros((5, 3), dtype=np.float32)
+        dense[1, 2] = 1.0
+        dense[4, 2] = 2.0
+        csc = CSCMatrix.from_dense(dense)
+        assert list(csc.col_indices(2)) == [1, 4]
+        assert list(csc.col_indices(0)) == []
+
+    def test_to_csr(self, small_dense):
+        csc = CSCMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(csc.to_csr().to_dense(), small_dense)
+
+    def test_invalid_colptr(self):
+        with pytest.raises(ValueError):
+            CSCMatrix([0, 1], [0], [1.0], (3, 3))
+
+
+class TestDenseWrapper:
+    def test_nnz_counts_logical_nonzeros(self):
+        data = np.array([[1.0, 0.0], [0.0, 2.0]], dtype=np.float32)
+        dm = DenseMatrix(data)
+        assert dm.nnz == 2
+        assert dm.stored_values == 4
+
+    def test_from_sparse(self, small_csr):
+        dm = DenseMatrix.from_sparse(small_csr)
+        np.testing.assert_allclose(dm.to_dense(), small_csr.to_dense())
+        assert dm.nnz == small_csr.nnz
+
+    def test_spmm(self, small_dense, rng):
+        dm = DenseMatrix(small_dense)
+        B = rng.normal(size=(small_dense.shape[1], 7)).astype(np.float32)
+        np.testing.assert_allclose(dm.spmm(B), small_dense @ B, rtol=1e-5, atol=1e-5)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            DenseMatrix(np.zeros(5))
+
+    def test_zeros_constructor(self):
+        dm = DenseMatrix.zeros((3, 4))
+        assert dm.shape == (3, 4)
+        assert dm.nnz == 0
+
+
+class TestConvert:
+    @pytest.mark.parametrize("target,cls", [
+        ("coo", COOMatrix),
+        ("csr", CSRMatrix),
+        ("csc", CSCMatrix),
+        ("bcsr", BCSRMatrix),
+        ("srbcrs", SRBCRSMatrix),
+        ("dense", DenseMatrix),
+    ])
+    def test_convert_preserves_values(self, small_csr, target, cls):
+        out = convert(small_csr, target)
+        assert isinstance(out, cls)
+        np.testing.assert_allclose(out.to_dense(), small_csr.to_dense())
+
+    def test_convert_same_format_is_identity(self, small_csr):
+        assert convert(small_csr, "csr") is small_csr
+
+    def test_convert_with_parameters(self, small_csr):
+        bcsr = convert(small_csr, "bcsr", block_shape=(4, 4))
+        assert bcsr.block_shape == (4, 4)
+
+    def test_unknown_format_raises(self, small_csr):
+        with pytest.raises(ValueError, match="unknown format"):
+            convert(small_csr, "ellpack")
+
+
+class TestMatrixMarketIO:
+    def test_write_read_roundtrip(self, small_csr, tmp_path):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(small_csr, path, comment="test matrix")
+        back = read_matrix_market(path)
+        np.testing.assert_allclose(back.to_dense(), small_csr.to_dense(), rtol=1e-6)
+
+    def test_read_coordinate_general(self):
+        text = "\n".join([
+            "%%MatrixMarket matrix coordinate real general",
+            "% comment line",
+            "3 4 2",
+            "1 1 1.5",
+            "3 4 -2.0",
+            "",
+        ])
+        m = read_matrix_market(io.StringIO(text))
+        assert m.shape == (3, 4)
+        assert m.nnz == 2
+        assert m.to_dense()[0, 0] == pytest.approx(1.5)
+        assert m.to_dense()[2, 3] == pytest.approx(-2.0)
+
+    def test_read_pattern(self):
+        text = "\n".join([
+            "%%MatrixMarket matrix coordinate pattern general",
+            "2 2 2",
+            "1 2",
+            "2 1",
+            "",
+        ])
+        m = read_matrix_market(io.StringIO(text))
+        assert m.to_dense()[0, 1] == 1.0
+        assert m.to_dense()[1, 0] == 1.0
+
+    def test_read_symmetric_mirrors_entries(self):
+        text = "\n".join([
+            "%%MatrixMarket matrix coordinate real symmetric",
+            "3 3 2",
+            "2 1 5.0",
+            "3 3 1.0",
+            "",
+        ])
+        m = read_matrix_market(io.StringIO(text))
+        dense = m.to_dense()
+        assert dense[1, 0] == pytest.approx(5.0)
+        assert dense[0, 1] == pytest.approx(5.0)
+        assert dense[2, 2] == pytest.approx(1.0)
+
+    def test_read_array_format(self):
+        text = "\n".join([
+            "%%MatrixMarket matrix array real general",
+            "2 2",
+            "1.0", "2.0", "3.0", "4.0",
+            "",
+        ])
+        m = read_matrix_market(io.StringIO(text))
+        np.testing.assert_allclose(m.to_dense(), [[1.0, 3.0], [2.0, 4.0]])
+
+    def test_reject_non_mm_file(self):
+        with pytest.raises(ValueError, match="MatrixMarket"):
+            read_matrix_market(io.StringIO("not a matrix\n1 1 1\n"))
+
+    def test_reject_unsupported_field(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 0.0\n"
+        with pytest.raises(ValueError, match="field"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_as_coo_option(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.0\n"
+        m = read_matrix_market(io.StringIO(text), as_csr=False)
+        assert isinstance(m, COOMatrix)

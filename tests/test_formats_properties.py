@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) on the storage formats.
+
+Invariants exercised:
+
+* every format round-trips through dense without changing values,
+* SpMM agrees across all formats and with the NumPy reference,
+* BCSR block counts always satisfy Eq. 2 of the paper,
+* permutations preserve nnz and are invertible.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.formats import BCSRMatrix, COOMatrix, CSCMatrix, CSRMatrix, SRBCRSMatrix
+
+
+def sparse_dense_arrays(max_rows=24, max_cols=24):
+    """Strategy producing small dense arrays with many zeros."""
+    shapes = st.tuples(
+        st.integers(min_value=1, max_value=max_rows),
+        st.integers(min_value=1, max_value=max_cols),
+    )
+    return shapes.flatmap(
+        lambda s: arrays(
+            dtype=np.float32,
+            shape=s,
+            elements=st.sampled_from([0.0, 0.0, 0.0, 1.0, -2.0, 0.5, 3.25]),
+        )
+    )
+
+
+block_shapes = st.sampled_from([(2, 2), (4, 2), (16, 8), (3, 5), (8, 8)])
+
+
+@given(dense=sparse_dense_arrays())
+@settings(max_examples=60, deadline=None)
+def test_csr_roundtrip(dense):
+    csr = CSRMatrix.from_dense(dense)
+    np.testing.assert_array_equal(csr.to_dense(), dense)
+    assert csr.nnz == np.count_nonzero(dense)
+
+
+@given(dense=sparse_dense_arrays())
+@settings(max_examples=60, deadline=None)
+def test_coo_csc_roundtrip(dense):
+    np.testing.assert_array_equal(COOMatrix.from_dense(dense).to_dense(), dense)
+    np.testing.assert_array_equal(CSCMatrix.from_dense(dense).to_dense(), dense)
+
+
+@given(dense=sparse_dense_arrays(), block=block_shapes)
+@settings(max_examples=60, deadline=None)
+def test_bcsr_roundtrip_and_bounds(dense, block):
+    bcsr = BCSRMatrix.from_dense(dense, block)
+    np.testing.assert_array_equal(bcsr.to_dense(), dense)
+    lower, upper = bcsr.block_count_bounds()
+    assert lower <= bcsr.n_blocks <= upper
+    assert bcsr.padding_zeros >= 0
+    assert bcsr.stored_values == bcsr.n_blocks * block[0] * block[1]
+
+
+@given(
+    dense=sparse_dense_arrays(),
+    v=st.sampled_from([1, 2, 4, 8]),
+    stride=st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=60, deadline=None)
+def test_srbcrs_roundtrip(dense, v, stride):
+    sr = SRBCRSMatrix.from_csr(
+        CSRMatrix.from_dense(dense), vector_length=v, stride=stride
+    )
+    np.testing.assert_array_equal(sr.to_dense(), dense)
+    assert sr.nnz == np.count_nonzero(dense)
+    per_panel = sr.vectors_per_panel()
+    assert np.all(per_panel[per_panel > 0] % stride == 0)
+
+
+@given(dense=sparse_dense_arrays(), block=block_shapes, n_cols=st.integers(1, 6))
+@settings(max_examples=50, deadline=None)
+def test_spmm_agreement_across_formats(dense, block, n_cols):
+    rng = np.random.default_rng(0)
+    B = rng.normal(size=(dense.shape[1], n_cols)).astype(np.float32)
+    reference = dense.astype(np.float64) @ B.astype(np.float64)
+    csr = CSRMatrix.from_dense(dense)
+    candidates = [
+        csr,
+        csr.to_coo(),
+        CSCMatrix.from_dense(dense),
+        BCSRMatrix.from_dense(dense, block),
+        SRBCRSMatrix.from_csr(csr, vector_length=4, stride=2),
+    ]
+    for matrix in candidates:
+        np.testing.assert_allclose(matrix.spmm(B), reference, rtol=1e-4, atol=1e-4)
+
+
+@given(dense=sparse_dense_arrays(), seed=st.integers(0, 2**16))
+@settings(max_examples=50, deadline=None)
+def test_row_permutation_is_invertible(dense, seed):
+    csr = CSRMatrix.from_dense(dense)
+    perm = np.random.default_rng(seed).permutation(csr.nrows)
+    permuted = csr.permute_rows(perm)
+    assert permuted.nnz == csr.nnz
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.size)
+    np.testing.assert_array_equal(permuted.permute_rows(inverse).to_dense(), dense)
+
+
+@given(dense=sparse_dense_arrays(), seed=st.integers(0, 2**16))
+@settings(max_examples=50, deadline=None)
+def test_col_permutation_is_invertible(dense, seed):
+    csr = CSRMatrix.from_dense(dense)
+    perm = np.random.default_rng(seed).permutation(csr.ncols)
+    permuted = csr.permute_cols(perm)
+    assert permuted.nnz == csr.nnz
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.size)
+    np.testing.assert_array_equal(permuted.permute_cols(inverse).to_dense(), dense)

@@ -1,0 +1,87 @@
+"""Unit tests for the SR-BCRS format (Magicube's format)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix, SRBCRSMatrix
+from repro.matrices import uniform_random
+
+
+class TestConversion:
+    def test_roundtrip_to_dense(self, small_dense):
+        sr = SRBCRSMatrix.from_csr(
+            CSRMatrix.from_dense(small_dense), vector_length=8, stride=4
+        )
+        np.testing.assert_allclose(sr.to_dense(), small_dense)
+
+    def test_roundtrip_to_csr(self, small_csr):
+        sr = SRBCRSMatrix.from_csr(small_csr, vector_length=4, stride=2)
+        np.testing.assert_allclose(sr.to_csr().to_dense(), small_csr.to_dense())
+
+    def test_empty_matrix(self):
+        sr = SRBCRSMatrix.from_csr(CSRMatrix.empty((16, 16)))
+        assert sr.n_vectors == 0
+        assert sr.nnz == 0
+
+    def test_nnz_excludes_padding(self, small_csr):
+        sr = SRBCRSMatrix.from_csr(small_csr, vector_length=8, stride=4)
+        assert sr.nnz == small_csr.nnz
+
+    def test_invalid_parameters(self, small_csr):
+        with pytest.raises(ValueError):
+            SRBCRSMatrix.from_csr(small_csr, vector_length=0, stride=4)
+
+
+class TestStridePadding:
+    def test_vector_count_multiple_of_stride(self, medium_random):
+        sr = SRBCRSMatrix.from_csr(medium_random, vector_length=8, stride=4)
+        per_panel = sr.vectors_per_panel()
+        nonzero_panels = per_panel[per_panel > 0]
+        assert np.all(nonzero_panels % 4 == 0)
+
+    def test_padding_vectors_have_no_column(self, medium_random):
+        sr = SRBCRSMatrix.from_csr(medium_random, vector_length=8, stride=4)
+        assert sr.n_padding_vectors == int(np.count_nonzero(sr.vec_col < 0))
+        # padding vectors must be all-zero
+        pad_mask = sr.vec_col < 0
+        if pad_mask.any():
+            assert not sr.vectors[pad_mask].any()
+
+    def test_stride_one_adds_no_padding(self, medium_random):
+        sr = SRBCRSMatrix.from_csr(medium_random, vector_length=8, stride=1)
+        assert sr.n_padding_vectors == 0
+
+    def test_larger_stride_never_decreases_storage(self, medium_random):
+        small = SRBCRSMatrix.from_csr(medium_random, vector_length=8, stride=1)
+        large = SRBCRSMatrix.from_csr(medium_random, vector_length=8, stride=8)
+        assert large.stored_values >= small.stored_values
+
+    def test_stored_values_accounting(self, medium_random):
+        sr = SRBCRSMatrix.from_csr(medium_random, vector_length=8, stride=4)
+        assert sr.stored_values == sr.n_vectors * 8
+        assert sr.stored_values >= sr.nnz
+
+    def test_memory_footprint_exceeds_csr(self, rng):
+        # the footprint blow-up is the mechanism behind Magicube's OOM
+        csr = uniform_random(256, 256, density=0.005, rng=rng)
+        sr = SRBCRSMatrix.from_csr(csr, vector_length=8, stride=4)
+        assert sr.memory_footprint_bytes() > csr.memory_footprint_bytes()
+
+
+class TestSpMM:
+    def test_spmm_matches_reference(self, small_csr, rng):
+        sr = SRBCRSMatrix.from_csr(small_csr, vector_length=8, stride=4)
+        B = rng.normal(size=(small_csr.ncols, 5)).astype(np.float32)
+        np.testing.assert_allclose(sr.spmm(B), small_csr.spmm(B), rtol=1e-4, atol=1e-4)
+
+    def test_spmm_various_vector_lengths(self, small_csr, rng):
+        B = rng.normal(size=(small_csr.ncols, 3)).astype(np.float32)
+        ref = small_csr.spmm(B)
+        for v, s in [(2, 2), (4, 8), (16, 4)]:
+            sr = SRBCRSMatrix.from_csr(small_csr, vector_length=v, stride=s)
+            np.testing.assert_allclose(sr.spmm(B), ref, rtol=1e-4, atol=1e-4)
+
+    def test_spmv(self, small_csr, rng):
+        sr = SRBCRSMatrix.from_csr(small_csr, vector_length=8, stride=4)
+        x = rng.normal(size=small_csr.ncols).astype(np.float32)
+        np.testing.assert_allclose(sr.spmv(x), small_csr.spmv(x), rtol=1e-4, atol=1e-4)

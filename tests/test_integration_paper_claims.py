@@ -1,0 +1,190 @@
+"""Integration tests: qualitative claims of the paper's evaluation.
+
+These tests run the full pipeline (stand-in matrices -> preprocessing ->
+simulated kernels) at a reduced scale and assert the *shape* of the
+paper's results: who wins, where the pathological cases are, and how the
+band-matrix sweep behaves.  Absolute GFLOP/s are not asserted (the
+substrate is a simulator); EXPERIMENTS.md records those side by side.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SMaT, SMaTConfig, compare_libraries
+from repro.analysis import geometric_mean
+from repro.matrices import band_matrix, bandwidth_for_sparsity, suitesparse
+
+#: stand-in scale: large enough that kernel-launch overheads no longer hide
+#: the asymptotic behaviour (dc2's DASP-vs-SMaT inversion needs this), small
+#: enough that the suite stays fast
+SCALE = 0.12
+N = 8
+
+
+def _measure(name, libraries=("smat", "dasp", "magicube", "cusparse")):
+    A = suitesparse.load(name, scale=SCALE)
+    rng = np.random.default_rng(99)
+    B = rng.normal(size=(A.ncols, N)).astype(np.float32)
+    results = compare_libraries(A, B, libraries=libraries, check_correctness=False)
+    return {r.library: r for r in results}
+
+
+@pytest.fixture(scope="module")
+def suite_results():
+    return {name: _measure(name) for name in ("mip1", "cop20k_A", "consph", "dc2")}
+
+
+class TestSuiteSparseClaims:
+    def test_smat_beats_cusparse_on_regular_matrices(self, suite_results):
+        """Figure 8: SMaT outperforms cuSPARSE on the SuiteSparse set."""
+        for name in ("mip1", "cop20k_A", "consph"):
+            res = suite_results[name]
+            assert res["SMaT"].time_ms < res["cuSPARSE"].time_ms, name
+
+    def test_smat_beats_dasp_on_regular_matrices(self, suite_results):
+        """Figure 8: SMaT is faster than DASP (batched SpMV) at N=8 on the
+        well-structured matrices."""
+        for name in ("mip1", "cop20k_A", "consph"):
+            res = suite_results[name]
+            assert res["SMaT"].time_ms < res["DASP"].time_ms, name
+
+    def test_geomean_speedup_over_baselines(self, suite_results):
+        """Section VI-B: SMaT is faster than every baseline in the geometric
+        mean over the (well-structured) matrices."""
+        for baseline in ("DASP", "Magicube", "cuSPARSE"):
+            speedups = [
+                res[baseline].time_ms / res["SMaT"].time_ms
+                for name, res in suite_results.items()
+                if name != "dc2"
+            ]
+            assert geometric_mean(speedups) > 1.0, baseline
+
+    def test_dc2_is_smats_lowest_gflops(self, suite_results):
+        """Section VI-B: the extremely sparse, power-law dc2 matrix is
+        SMaT's worst case of the set (single-non-zero blocks underutilise
+        the Tensor Cores)."""
+        smat_gflops = {name: res["SMaT"].gflops for name, res in suite_results.items()}
+        assert min(smat_gflops, key=smat_gflops.get) == "dc2"
+
+    def test_dasp_wins_on_dc2_at_scale(self):
+        """Section VI-B: DASP's row-packed SpMV outperforms SMaT on dc2.
+        The inversion appears once the matrix is large enough that DASP's
+        per-launch overhead is amortised, so this test uses a larger
+        stand-in than the shared fixture."""
+        A = suitesparse.load("dc2", scale=0.45)
+        rng = np.random.default_rng(7)
+        B = rng.normal(size=(A.ncols, N)).astype(np.float32)
+        res = {
+            r.library: r
+            for r in compare_libraries(
+                A, B, libraries=("smat", "dasp"), check_correctness=False
+            )
+        }
+        assert res["DASP"].gflops > res["SMaT"].gflops
+
+    def test_mip1_preprocessing_mechanism(self):
+        """Section VI-B best case: on mip1 the preprocessing substantially
+        reduces the block count (1.8x in the paper; our hidden-cluster
+        stand-in gives even more) and that translates into a faster
+        simulated kernel."""
+        A = suitesparse.load("mip1", scale=SCALE)
+        rng = np.random.default_rng(11)
+        B = rng.normal(size=(A.ncols, N)).astype(np.float32)
+        reordered = SMaT(A, SMaTConfig(reorder="jaccard"))
+        report = reordered.preprocess_report
+        assert report.applied
+        assert report.block_reduction > 1.3
+        base = SMaT(A, SMaTConfig(reorder="identity"))
+        _, rep_base = base.multiply(B, return_report=True)
+        _, rep_reord = reordered.multiply(B, return_report=True)
+        assert rep_reord.simulated_ms < rep_base.simulated_ms
+
+
+class TestReorderingClaims:
+    def test_reordering_improves_cop20k(self):
+        """Figure 3/4: row reordering reduces blocks (2.5x in the paper) and
+        improves SMaT performance on cop20k_A."""
+        A = suitesparse.load("cop20k_A", scale=SCALE)
+        rng = np.random.default_rng(5)
+        B = rng.normal(size=(A.ncols, N)).astype(np.float32)
+        base = SMaT(A, SMaTConfig(reorder="identity"))
+        reordered = SMaT(A, SMaTConfig(reorder="jaccard"))
+        assert reordered.preprocess_report.blocks_after < base.preprocess_report.blocks_after
+        _, rep_base = base.multiply(B, return_report=True)
+        _, rep_reord = reordered.multiply(B, return_report=True)
+        assert rep_reord.simulated_ms < rep_base.simulated_ms
+
+    def test_conf5_does_not_benefit_from_reordering(self):
+        """Section VI-A: conf5 (a band-structured lattice-QCD matrix) is
+        already well ordered; Jaccard reordering cannot reduce its blocks,
+        and the pipeline must keep the identity."""
+        A = suitesparse.load("conf5_4-8x8", scale=SCALE)
+        smat = SMaT(A, SMaTConfig(reorder="jaccard", auto_skip_reordering=True))
+        assert not smat.preprocess_report.applied
+
+
+class TestBandSweepClaims:
+    @pytest.fixture(scope="class")
+    def band_sweep(self):
+        n = 4096
+        rng = np.random.default_rng(0)
+        B = rng.normal(size=(n, N)).astype(np.float32)
+        out = {}
+        for sparsity in (0.99, 0.9, 0.5, 0.0):
+            bw = bandwidth_for_sparsity(n, sparsity)
+            A = band_matrix(n, bw, rng=rng)
+            res = compare_libraries(
+                A, B, libraries=("smat", "dasp", "cusparse", "cublas"),
+                check_correctness=False,
+            )
+            out[sparsity] = {r.library: r for r in res}
+        return out
+
+    def test_smat_wins_at_high_sparsity(self, band_sweep):
+        """Figure 9a: at very high sparsity SMaT beats every baseline,
+        including cuBLAS."""
+        res = band_sweep[0.99]
+        for lib in ("DASP", "cuSPARSE", "cuBLAS"):
+            assert res["SMaT"].time_ms < res[lib].time_ms, lib
+
+    def test_cublas_wins_in_the_dense_case(self, band_sweep):
+        """Figure 9a: for the fully dense matrix cuBLAS is faster than SMaT
+        (the paper reports SMaT only 2.3x slower)."""
+        res = band_sweep[0.0]
+        assert res["cuBLAS"].time_ms < res["SMaT"].time_ms
+        # the paper reports 2.3x at 16k; at this reduced dimension the SMaT
+        # grid is occupancy-limited, so allow a wider (but still bounded) gap
+        assert res["SMaT"].time_ms / res["cuBLAS"].time_ms < 12.0
+
+    def test_crossover_against_cublas_well_below_99_percent(self, band_sweep):
+        """The headline claim of Section VI-C: the sparse library overtakes
+        cuBLAS far below the ~99% sparsity conventional wisdom (78% in the
+        paper).  At 90% sparsity SMaT must already win."""
+        res = band_sweep[0.9]
+        assert res["SMaT"].time_ms < res["cuBLAS"].time_ms
+
+    def test_smat_always_beats_cusparse_on_bands(self, band_sweep):
+        """Figure 9: cuSPARSE is slower than SMaT across the whole sweep,
+        with the gap widening as the matrix gets denser."""
+        gaps = {}
+        for sparsity, res in band_sweep.items():
+            assert res["SMaT"].time_ms < res["cuSPARSE"].time_ms
+            gaps[sparsity] = res["cuSPARSE"].time_ms / res["SMaT"].time_ms
+        assert gaps[0.0] > gaps[0.99]
+
+
+class TestNScalingClaims:
+    def test_smat_scales_better_than_dasp_with_n(self):
+        """Figure 10: DASP degrades linearly with N while SMaT grows slowly,
+        so SMaT wins for moderate and large N."""
+        A = suitesparse.load("cop20k_A", scale=SCALE)
+        rng = np.random.default_rng(3)
+        times = {}
+        for n in (1, 32):
+            B = rng.normal(size=(A.ncols, n)).astype(np.float32)
+            res = compare_libraries(A, B, libraries=("smat", "dasp"), check_correctness=False)
+            times[n] = {r.library: r.time_ms for r in res}
+        dasp_growth = times[32]["DASP"] / times[1]["DASP"]
+        smat_growth = times[32]["SMaT"] / times[1]["SMaT"]
+        assert dasp_growth > 4 * smat_growth
+        assert times[32]["SMaT"] < times[32]["DASP"]

@@ -1,0 +1,89 @@
+"""Cross-precision and cross-architecture behaviour of the kernels.
+
+The paper states SMaT "works with all data types supported by the MMA
+hardware units" (Section I) and evaluates on an A100.  These tests check
+that the reproduction keeps that generality: every precision produces the
+correct product with its MMA-matched block shape, and moving to a faster
+or slower architecture moves the simulated time the right way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import A100_SXM4_40GB, H100_SXM5_80GB, V100_SXM2_16GB, Precision
+from repro.kernels import CublasDenseKernel, SMaTKernel
+from repro.matrices import band_matrix, uniform_random
+
+PRECISIONS = ["fp16", "bf16", "tf32", "fp64", "int8"]
+
+
+@pytest.fixture
+def A(rng):
+    return uniform_random(512, 512, density=0.02, rng=rng)
+
+
+@pytest.fixture
+def B(A, rng):
+    return rng.normal(size=(A.ncols, 8)).astype(np.float32)
+
+
+class TestPrecisions:
+    @pytest.mark.parametrize("precision", PRECISIONS)
+    def test_smat_correct_for_every_precision(self, A, B, precision):
+        result = SMaTKernel(precision=precision).multiply(A, B)
+        np.testing.assert_allclose(result.C, A.spmm(B), rtol=1e-3, atol=1e-3)
+
+    @pytest.mark.parametrize("precision", PRECISIONS)
+    def test_block_shape_matches_mma_shape(self, A, B, precision):
+        kernel = SMaTKernel(precision=precision)
+        kernel.prepare(A)
+        p = Precision[precision.upper()] if precision != "fp16" else Precision.FP16
+        assert kernel.block_shape == kernel.precision.block_shape
+        assert kernel.bcsr.block_shape == kernel.precision.block_shape
+
+    def test_fp64_slower_than_fp16(self, rng):
+        """FP64 Tensor-Core throughput is ~16x lower than FP16 on the A100,
+        so the same (compute-heavy) problem must take longer."""
+        A = band_matrix(2048, 512, rng=rng)
+        B = rng.normal(size=(2048, 64)).astype(np.float32)
+        t_fp16 = SMaTKernel(precision="fp16").multiply(A, B).timing.time_s
+        t_fp64 = SMaTKernel(precision="fp64").multiply(A, B).timing.time_s
+        assert t_fp64 > t_fp16
+
+    def test_int8_not_slower_than_fp16(self, rng):
+        A = band_matrix(2048, 512, rng=rng)
+        B = rng.normal(size=(2048, 64)).astype(np.float32)
+        t_fp16 = SMaTKernel(precision="fp16").multiply(A, B).timing.time_s
+        t_int8 = SMaTKernel(precision="int8").multiply(A, B).timing.time_s
+        assert t_int8 <= t_fp16 * 1.1
+
+
+class TestArchitectures:
+    @pytest.mark.parametrize("arch", [A100_SXM4_40GB, V100_SXM2_16GB, H100_SXM5_80GB])
+    def test_correct_on_every_architecture(self, A, B, arch):
+        result = SMaTKernel(arch).multiply(A, B)
+        np.testing.assert_allclose(result.C, A.spmm(B), rtol=1e-3, atol=1e-3)
+
+    def test_h100_faster_than_a100_faster_than_v100(self, rng):
+        A = band_matrix(4096, 1024, rng=rng)
+        B = rng.normal(size=(4096, 64)).astype(np.float32)
+        times = {
+            arch.name: SMaTKernel(arch).multiply(A, B).timing.time_s
+            for arch in (V100_SXM2_16GB, A100_SXM4_40GB, H100_SXM5_80GB)
+        }
+        assert times["H100-SXM5-80GB"] < times["A100-SXM4-40GB"] < times["V100-SXM2-16GB"]
+
+    def test_cublas_scales_with_tc_peak(self, rng):
+        A = band_matrix(2048, 2047, rng=rng)
+        B = rng.normal(size=(2048, 256)).astype(np.float32)
+        t_a100 = CublasDenseKernel(A100_SXM4_40GB).multiply(A, B).timing.time_s
+        t_h100 = CublasDenseKernel(H100_SXM5_80GB).multiply(A, B).timing.time_s
+        assert t_h100 < t_a100
+
+    def test_bandwidth_override_slows_memory_bound_kernel(self, rng):
+        A = band_matrix(4096, 256, rng=rng)
+        B = rng.normal(size=(4096, 8)).astype(np.float32)
+        slow_arch = A100_SXM4_40GB.with_overrides(hbm_bandwidth_gbs=400.0)
+        t_fast = SMaTKernel(A100_SXM4_40GB).multiply(A, B).timing.time_s
+        t_slow = SMaTKernel(slow_arch).multiply(A, B).timing.time_s
+        assert t_slow > t_fast

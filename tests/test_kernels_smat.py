@@ -1,0 +1,170 @@
+"""Tests for the simulated SMaT kernel (variants, counters, timing)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import SMaTKernel, SMaTVariant
+from repro.matrices import band_matrix, block_random, row_skewed_random, uniform_random
+
+
+@pytest.fixture
+def A_band():
+    return band_matrix(512, 32, rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def B8(A_band, rng):
+    return rng.normal(size=(A_band.ncols, 8)).astype(np.float32)
+
+
+class TestVariantParsing:
+    def test_naive(self):
+        v = SMaTVariant.from_string("naive")
+        assert not (v.use_bcsr_pointers or v.use_tensor_cores or v.use_async_copy)
+        assert v.label == "naive"
+
+    @pytest.mark.parametrize("spec,flags", [
+        ("B", (True, False, False)),
+        ("T", (False, True, False)),
+        ("BT", (True, True, False)),
+        ("CBT", (True, True, True)),
+        ("tbc", (True, True, True)),
+    ])
+    def test_letters(self, spec, flags):
+        v = SMaTVariant.from_string(spec)
+        assert (v.use_bcsr_pointers, v.use_tensor_cores, v.use_async_copy) == flags
+
+    def test_invalid_letters(self):
+        with pytest.raises(ValueError):
+            SMaTVariant.from_string("XY")
+
+    def test_label_roundtrip(self):
+        assert SMaTVariant.from_string("CBT").label == "CBT"
+        assert SMaTVariant.from_string("T").label == "T"
+
+
+class TestNumericalCorrectness:
+    def test_matches_reference(self, A_band, B8):
+        kernel = SMaTKernel()
+        result = kernel.multiply(A_band, B8)
+        np.testing.assert_allclose(result.C, A_band.spmm(B8), rtol=1e-3, atol=1e-3)
+
+    @pytest.mark.parametrize("variant", ["naive", "B", "T", "BT", "CBT"])
+    def test_all_variants_produce_same_numbers(self, A_band, B8, variant):
+        result = SMaTKernel(variant=variant).multiply(A_band, B8)
+        np.testing.assert_allclose(result.C, A_band.spmm(B8), rtol=1e-3, atol=1e-3)
+
+    def test_requires_prepare_before_run(self, B8):
+        kernel = SMaTKernel()
+        with pytest.raises(RuntimeError, match="prepare"):
+            kernel.run(B8)
+
+    def test_dimension_mismatch_rejected(self, A_band):
+        kernel = SMaTKernel()
+        kernel.prepare(A_band)
+        with pytest.raises(ValueError):
+            kernel.run(np.zeros((A_band.ncols + 3, 8), dtype=np.float32))
+
+    def test_spmv_shape(self, A_band, rng):
+        kernel = SMaTKernel()
+        x = rng.normal(size=(A_band.ncols, 1)).astype(np.float32)
+        result = kernel.multiply(A_band, x)
+        assert result.C.shape == (A_band.nrows, 1)
+
+
+class TestCountersAndTiming:
+    def test_block_count_in_counters(self, A_band, B8):
+        result = SMaTKernel().multiply(A_band, B8)
+        from repro.formats import BCSRMatrix
+
+        expected = BCSRMatrix.from_csr(A_band, (16, 8)).n_blocks
+        assert result.counters.extra["n_blocks"] == expected
+
+    def test_useful_flops(self, A_band, B8):
+        result = SMaTKernel().multiply(A_band, B8)
+        assert result.counters.useful_flops == pytest.approx(2.0 * A_band.nnz * 8)
+
+    def test_gflops_positive_and_below_peak(self, A_band, B8):
+        result = SMaTKernel().multiply(A_band, B8)
+        assert 0 < result.gflops < 312_000  # below the A100 FP16 TC peak
+
+    def test_mma_instruction_count(self, A_band, B8):
+        result = SMaTKernel().multiply(A_band, B8)
+        assert result.counters.mma_instructions == result.counters.extra["n_blocks"]
+
+    def test_scalar_variant_has_no_mma(self, A_band, B8):
+        result = SMaTKernel(variant="B").multiply(A_band, B8)
+        assert result.counters.mma_instructions == 0
+        assert result.counters.cuda_core_flops > 0
+
+    def test_warp_count(self, A_band, B8):
+        result = SMaTKernel().multiply(A_band, B8)
+        n_block_rows = -(-A_band.nrows // 16)
+        assert result.counters.extra["n_warps"] == n_block_rows  # N=8 -> one tile
+
+    def test_wider_B_needs_more_warps(self, A_band, rng):
+        B32 = rng.normal(size=(A_band.ncols, 32)).astype(np.float32)
+        r8 = SMaTKernel().multiply(A_band, rng.normal(size=(A_band.ncols, 8)).astype(np.float32))
+        r32 = SMaTKernel().multiply(A_band, B32)
+        assert r32.counters.extra["n_warps"] == 4 * r8.counters.extra["n_warps"]
+
+    def test_timing_breakdown_present(self, A_band, B8):
+        timing = SMaTKernel().multiply(A_band, B8).timing
+        assert {"compute", "memory", "scalar", "overhead"} <= set(timing.breakdown)
+        assert timing.time_ms > 0
+
+
+class TestOptimisationLadder:
+    """Figure 2: each added optimisation must not slow the kernel down, and
+    the full ladder must provide a substantial cumulative speedup."""
+
+    @pytest.fixture
+    def ladder_times(self):
+        A = band_matrix(2048, 128, rng=np.random.default_rng(1))
+        B = np.random.default_rng(2).normal(size=(2048, 8)).astype(np.float32)
+        times = {}
+        for variant in ["naive", "B", "T", "BT", "CBT"]:
+            times[variant] = SMaTKernel(variant=variant).multiply(A, B).time_ms
+        return times
+
+    def test_monotone_improvements(self, ladder_times):
+        assert ladder_times["B"] <= ladder_times["naive"] * 1.01
+        assert ladder_times["BT"] <= ladder_times["B"] * 1.01
+        assert ladder_times["BT"] <= ladder_times["T"] * 1.01
+        assert ladder_times["CBT"] <= ladder_times["BT"] * 1.01
+
+    def test_tensor_cores_give_large_speedup(self, ladder_times):
+        assert ladder_times["naive"] / ladder_times["BT"] > 3.0
+
+    def test_full_ladder_speedup(self, ladder_times):
+        assert ladder_times["naive"] / ladder_times["CBT"] > 4.0
+
+
+class TestStructureSensitivity:
+    def test_fewer_blocks_is_faster(self, rng):
+        """Eq. 1: runtime grows with the number of blocks at fixed nnz."""
+        n = 1024
+        packed = block_random(n, n, (16, 8), block_density=0.02, fill=1.0, rng=rng)
+        scattered = uniform_random(n, n, nnz=packed.nnz, rng=rng)
+        B = rng.normal(size=(n, 8)).astype(np.float32)
+        t_packed = SMaTKernel().multiply(packed, B)
+        t_scattered = SMaTKernel().multiply(scattered, B)
+        assert t_scattered.counters.extra["n_blocks"] > t_packed.counters.extra["n_blocks"]
+        assert t_scattered.time_ms > t_packed.time_ms
+
+    def test_load_imbalance_hurts(self, rng):
+        """Section VI-B: a skewed blocks-per-row distribution (dc2-like)
+        degrades SMaT's static 2-D schedule."""
+        n = 16_384
+        nnz = 80_000
+        balanced = uniform_random(n, n, nnz=nnz, rng=rng)
+        skewed = row_skewed_random(n, n, nnz=nnz, alpha=2.2, rng=rng)
+        B = rng.normal(size=(n, 8)).astype(np.float32)
+        r_bal = SMaTKernel().multiply(balanced, B)
+        r_skew = SMaTKernel().multiply(skewed, B)
+        assert r_skew.timing.schedule.load_imbalance > r_bal.timing.schedule.load_imbalance
+
+    def test_custom_block_shape(self, A_band, B8):
+        result = SMaTKernel(block_shape=(16, 16)).multiply(A_band, B8)
+        np.testing.assert_allclose(result.C, A_band.spmm(B8), rtol=1e-3, atol=1e-3)
+        assert result.meta["block_shape"] == (16, 16)

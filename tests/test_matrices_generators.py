@@ -1,0 +1,221 @@
+"""Tests for the random / mesh / graph / lattice / clustered generators."""
+
+import numpy as np
+import pytest
+
+from repro.formats import BCSRMatrix
+from repro.matrices import (
+    add_dense_rows,
+    block_band_matrix,
+    block_random,
+    contact_map_graph,
+    diagonal_plus_random,
+    fem_block_mesh,
+    hidden_cluster_matrix,
+    lattice_qcd_like,
+    rmat_graph,
+    row_skewed_random,
+    scale_free_graph,
+    shell_structure,
+    shuffle_rows,
+    stencil_2d,
+    stencil_3d,
+    uniform_random,
+)
+
+
+class TestUniformRandom:
+    def test_exact_nnz(self, rng):
+        A = uniform_random(100, 80, nnz=500, rng=rng)
+        assert A.nnz == 500
+        assert A.shape == (100, 80)
+
+    def test_density_request(self, rng):
+        A = uniform_random(100, 100, density=0.02, rng=rng)
+        assert A.nnz == 200
+
+    def test_nnz_capped_at_total(self, rng):
+        A = uniform_random(10, 10, nnz=500, rng=rng)
+        assert A.nnz == 100
+
+    def test_zero_nnz(self, rng):
+        assert uniform_random(10, 10, nnz=0, rng=rng).nnz == 0
+
+    def test_requires_exactly_one_size_argument(self, rng):
+        with pytest.raises(ValueError):
+            uniform_random(10, 10, rng=rng)
+        with pytest.raises(ValueError):
+            uniform_random(10, 10, density=0.1, nnz=5, rng=rng)
+
+    def test_values_in_expected_range(self, rng):
+        A = uniform_random(50, 50, nnz=200, rng=rng)
+        assert np.all(A.val >= 0.5) and np.all(A.val < 1.5)
+
+
+class TestBlockRandom:
+    def test_full_blocks_have_no_padding(self, rng):
+        A = block_random(128, 128, (16, 8), block_density=0.2, fill=1.0, rng=rng)
+        bcsr = BCSRMatrix.from_csr(A, (16, 8))
+        assert bcsr.padding_zeros == 0
+
+    def test_block_count_matches_density(self, rng):
+        A = block_random(160, 160, (16, 8), block_density=0.25, fill=1.0, rng=rng)
+        bcsr = BCSRMatrix.from_csr(A, (16, 8))
+        assert bcsr.n_blocks == round(0.25 * (160 // 16) * (160 // 8))
+
+    def test_partial_fill(self, rng):
+        A = block_random(64, 64, (8, 8), block_density=0.5, fill=0.5, rng=rng)
+        bcsr = BCSRMatrix.from_csr(A, (8, 8))
+        assert 0 < bcsr.padding_zeros
+
+    def test_requires_divisible_dimensions(self, rng):
+        with pytest.raises(ValueError):
+            block_random(100, 64, (16, 8), block_density=0.1, rng=rng)
+
+
+class TestSkewAndDiagonal:
+    def test_row_skew_produces_heavy_tail(self, rng):
+        A = row_skewed_random(2000, 2000, nnz=20000, alpha=1.8, rng=rng)
+        counts = A.row_nnz()
+        assert counts.max() > 10 * max(1.0, np.median(counts))
+
+    def test_row_skew_nnz_close_to_request(self, rng):
+        A = row_skewed_random(500, 500, nnz=5000, rng=rng)
+        assert 0.8 * 5000 <= A.nnz <= 5000
+
+    def test_diagonal_plus_random_has_full_diagonal(self, rng):
+        A = diagonal_plus_random(64, extra_nnz=100, rng=rng)
+        assert np.all(np.diag(A.to_dense()) != 0)
+
+
+class TestMeshGenerators:
+    def test_stencil_2d_5pt_nnz(self):
+        A = stencil_2d(10, 12, stencil="5pt")
+        n = 10 * 12
+        interior_edges = (10 - 1) * 12 + 10 * (12 - 1)
+        assert A.nnz == n + 2 * interior_edges
+        assert A.shape == (n, n)
+
+    def test_stencil_2d_9pt_more_nnz_than_5pt(self):
+        a5 = stencil_2d(8, 8, stencil="5pt")
+        a9 = stencil_2d(8, 8, stencil="9pt")
+        assert a9.nnz > a5.nnz
+
+    def test_stencil_3d_shapes(self):
+        A = stencil_3d(4, 5, 6, stencil="7pt")
+        assert A.shape == (120, 120)
+        # symmetric pattern
+        dense = A.to_dense()
+        assert np.array_equal(dense != 0, (dense != 0).T)
+
+    def test_stencil_27pt(self):
+        A = stencil_3d(4, 4, 4, stencil="27pt")
+        assert A.row_nnz().max() == 27
+
+    def test_invalid_stencil(self):
+        with pytest.raises(ValueError):
+            stencil_2d(4, 4, stencil="13pt")
+
+    def test_fem_block_mesh_dof_structure(self, rng):
+        A = fem_block_mesh(50, dof=3, neighbors=4, rng=rng)
+        assert A.shape == (150, 150)
+        # diagonal blocks are dense: every row has at least dof entries
+        assert A.row_nnz().min() >= 3
+
+    def test_fem_block_mesh_symmetric_pattern(self, rng):
+        A = fem_block_mesh(40, dof=2, neighbors=3, rng=rng)
+        dense = A.to_dense()
+        assert np.array_equal(dense != 0, (dense != 0).T)
+
+    def test_shell_structure(self, rng):
+        A = shell_structure(256, band=8, n_stringers=4, rng=rng)
+        assert A.shape == (256, 256)
+        assert A.bandwidth() > 8  # stringers add long-range coupling
+
+
+class TestGraphGenerators:
+    def test_scale_free_degree_tail(self, rng):
+        A = scale_free_graph(2000, avg_degree=6.0, exponent=1.9, rng=rng)
+        deg = A.row_nnz()
+        assert deg.max() > 20 * max(1.0, np.median(deg))
+
+    def test_scale_free_no_self_loops(self, rng):
+        A = scale_free_graph(200, avg_degree=4.0, rng=rng)
+        assert not np.any(np.diag(A.to_dense()) != 0)
+
+    def test_scale_free_symmetric(self, rng):
+        A = scale_free_graph(300, avg_degree=4.0, symmetric=True, rng=rng)
+        dense = A.to_dense()
+        assert np.array_equal(dense != 0, (dense != 0).T)
+
+    def test_rmat_dimensions(self, rng):
+        A = rmat_graph(8, edge_factor=4, rng=rng)
+        assert A.shape == (256, 256)
+        assert A.nnz > 0
+
+    def test_rmat_invalid_probabilities(self, rng):
+        with pytest.raises(ValueError):
+            rmat_graph(5, a=0.5, b=0.3, c=0.3, rng=rng)
+
+    def test_contact_map_has_backbone(self, rng):
+        A = contact_map_graph(300, backbone_width=4, n_contacts=50, rng=rng)
+        dense = A.to_dense()
+        off = np.abs(np.subtract.outer(np.arange(300), np.arange(300)))
+        assert np.all(dense[(off <= 4)] != 0)
+
+
+class TestLatticeGenerators:
+    def test_block_band_is_block_dense(self):
+        A = block_band_matrix(128, block_size=8, block_bandwidth=1)
+        bcsr = BCSRMatrix.from_csr(A, (8, 8))
+        assert bcsr.padding_zeros == 0
+        assert np.all(bcsr.block_density() == 1.0)
+
+    def test_block_band_nnz(self):
+        A = block_band_matrix(64, block_size=8, block_bandwidth=1)
+        # 8 block rows: interior rows have 3 blocks, edge rows 2
+        expected_blocks = 8 * 3 - 2
+        assert A.nnz == expected_blocks * 64
+
+    def test_lattice_qcd_shape_and_regularity(self, rng):
+        A = lattice_qcd_like(3, site_dof=4, dims=2, rng=rng)
+        assert A.shape == (3 * 3 * 4, 3 * 3 * 4)
+        # every site couples to itself + 2*dims neighbours (periodic), each a
+        # dense dof x dof block => constant row degree
+        assert A.row_nnz().min() == A.row_nnz().max()
+
+
+class TestClusteredGenerators:
+    def test_hidden_cluster_reordering_potential(self, rng):
+        A = hidden_cluster_matrix(
+            256, 256, cluster_size=16, segments_per_cluster=4, segment_width=8,
+            shuffle=True, rng=rng,
+        )
+        unshuffled = hidden_cluster_matrix(
+            256, 256, cluster_size=16, segments_per_cluster=4, segment_width=8,
+            shuffle=False, rng=np.random.default_rng(1234),
+        )
+        shuffled_blocks = BCSRMatrix.from_csr(A, (16, 8)).n_blocks
+        ordered_blocks = BCSRMatrix.from_csr(unshuffled, (16, 8)).n_blocks
+        assert shuffled_blocks > ordered_blocks
+
+    def test_shuffle_rows_preserves_multiset_of_rows(self, small_csr, rng):
+        shuffled = shuffle_rows(small_csr, fraction=1.0, rng=rng)
+        assert shuffled.nnz == small_csr.nnz
+        np.testing.assert_array_equal(
+            np.sort(shuffled.row_nnz()), np.sort(small_csr.row_nnz())
+        )
+
+    def test_shuffle_fraction_zero_is_identity(self, small_csr, rng):
+        shuffled = shuffle_rows(small_csr, fraction=0.0, rng=rng)
+        np.testing.assert_array_equal(shuffled.to_dense(), small_csr.to_dense())
+
+    def test_shuffle_invalid_fraction(self, small_csr, rng):
+        with pytest.raises(ValueError):
+            shuffle_rows(small_csr, fraction=1.5, rng=rng)
+
+    def test_add_dense_rows_increases_imbalance(self, rng):
+        A = uniform_random(200, 200, nnz=1000, rng=rng)
+        heavy = add_dense_rows(A, n_dense_rows=3, row_density=0.4, rng=rng)
+        assert heavy.row_nnz().max() > A.row_nnz().max()
+        assert heavy.nnz > A.nnz

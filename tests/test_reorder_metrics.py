@@ -1,0 +1,79 @@
+"""Tests for the blocking metrics used to evaluate reorderings."""
+
+import numpy as np
+import pytest
+
+from repro.formats import BCSRMatrix, CSRMatrix
+from repro.reorder import blocking_stats, blocks_per_block_row, count_blocks
+from repro.reorder.metrics import block_coordinates, block_row_support
+
+
+class TestCountBlocks:
+    def test_matches_bcsr_construction(self, medium_random):
+        direct = BCSRMatrix.from_csr(medium_random, (16, 8)).n_blocks
+        counted = count_blocks(medium_random, (16, 8))
+        assert counted == direct
+
+    def test_with_row_permutation_matches_materialised(self, medium_random):
+        perm = np.random.default_rng(0).permutation(medium_random.nrows)
+        counted = count_blocks(medium_random, (16, 8), row_perm=perm)
+        materialised = BCSRMatrix.from_csr(
+            medium_random.permute_rows(perm), (16, 8)
+        ).n_blocks
+        assert counted == materialised
+
+    def test_with_col_permutation_matches_materialised(self, medium_random):
+        perm = np.random.default_rng(1).permutation(medium_random.ncols)
+        counted = count_blocks(medium_random, (16, 8), col_perm=perm)
+        materialised = BCSRMatrix.from_csr(
+            medium_random.permute_cols(perm), (16, 8)
+        ).n_blocks
+        assert counted == materialised
+
+    def test_identity_permutation_is_noop(self, medium_random):
+        ident = np.arange(medium_random.nrows)
+        assert count_blocks(medium_random, (16, 8), row_perm=ident) == count_blocks(
+            medium_random, (16, 8)
+        )
+
+    def test_single_block_matrix(self):
+        dense = np.zeros((16, 8), dtype=np.float32)
+        dense[3, 5] = 1.0
+        assert count_blocks(CSRMatrix.from_dense(dense), (16, 8)) == 1
+
+    def test_empty_matrix(self):
+        assert count_blocks(CSRMatrix.empty((32, 32)), (16, 8)) == 0
+
+
+class TestDistributions:
+    def test_blocks_per_block_row_matches_bcsr(self, medium_random):
+        bcsr = BCSRMatrix.from_csr(medium_random, (16, 8))
+        np.testing.assert_array_equal(
+            blocks_per_block_row(medium_random, (16, 8)), bcsr.blocks_per_row()
+        )
+
+    def test_blocking_stats_consistency(self, medium_random):
+        stats = blocking_stats(medium_random, (16, 8))
+        bcsr = BCSRMatrix.from_csr(medium_random, (16, 8))
+        assert stats.n_blocks == bcsr.n_blocks
+        assert stats.padding_zeros == bcsr.padding_zeros
+        assert stats.fill_in_ratio == pytest.approx(bcsr.fill_in_ratio)
+        assert stats.mean_blocks_per_row == pytest.approx(bcsr.blocks_per_row().mean())
+
+    def test_cv_zero_for_uniform_distribution(self):
+        dense = np.ones((32, 32), dtype=np.float32)
+        stats = blocking_stats(CSRMatrix.from_dense(dense), (16, 8))
+        assert stats.cv == 0.0
+
+    def test_block_coordinates_unique_and_sorted(self, medium_random):
+        ids = block_coordinates(medium_random, (16, 8))
+        assert np.all(np.diff(ids) > 0)
+
+    def test_block_row_support(self):
+        dense = np.zeros((4, 32), dtype=np.float32)
+        dense[0, [0, 1, 9]] = 1.0
+        dense[2, 31] = 1.0
+        support = block_row_support(CSRMatrix.from_dense(dense), 8)
+        assert list(support[0]) == [0, 1]
+        assert list(support[1]) == []
+        assert list(support[2]) == [3]

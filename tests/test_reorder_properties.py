@@ -1,0 +1,74 @@
+"""Property-based tests on the reordering layer.
+
+Invariants:
+
+* every algorithm always returns a valid permutation,
+* applying a permutation never changes nnz or the multiset of row lengths,
+* the block count after any permutation stays within Eq. 2's bounds,
+* the SMaT pipeline's result is permutation-independent (the same product
+  regardless of which reorderer ran).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import SMaT, SMaTConfig
+from repro.core import block_count_bounds
+from repro.matrices import uniform_random
+from repro.reorder import count_blocks, get_reorderer
+
+ALGORITHMS = ["identity", "jaccard", "saad", "rcm", "graycode", "hypergraph"]
+
+matrix_params = st.tuples(
+    st.integers(min_value=16, max_value=160),    # n (square)
+    st.floats(min_value=0.0, max_value=0.15),    # density
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+@given(params=matrix_params, algorithm=st.sampled_from(ALGORITHMS))
+@settings(max_examples=40, deadline=None)
+def test_reorderers_return_valid_permutations(params, algorithm):
+    n, density, seed = params
+    A = uniform_random(n, n, density=density, rng=np.random.default_rng(seed))
+    result = get_reorderer(algorithm, block_shape=(16, 8)).reorder(A, with_stats=False)
+    assert np.array_equal(np.sort(result.row_perm), np.arange(n))
+
+
+@given(params=matrix_params, algorithm=st.sampled_from(ALGORITHMS))
+@settings(max_examples=40, deadline=None)
+def test_permuted_matrix_preserves_structure(params, algorithm):
+    n, density, seed = params
+    A = uniform_random(n, n, density=density, rng=np.random.default_rng(seed))
+    result = get_reorderer(algorithm, block_shape=(16, 8)).reorder(A, with_stats=False)
+    permuted = result.apply(A)
+    assert permuted.nnz == A.nnz
+    np.testing.assert_array_equal(np.sort(permuted.row_nnz()), np.sort(A.row_nnz()))
+
+
+@given(params=matrix_params, algorithm=st.sampled_from(ALGORITHMS))
+@settings(max_examples=40, deadline=None)
+def test_block_count_respects_eq2_under_any_permutation(params, algorithm):
+    n, density, seed = params
+    A = uniform_random(n, n, density=density, rng=np.random.default_rng(seed))
+    result = get_reorderer(algorithm, block_shape=(16, 8)).reorder(A, with_stats=False)
+    blocks = count_blocks(A, (16, 8), row_perm=result.row_perm)
+    lower, upper = block_count_bounds(A.nnz, n, n, (16, 8))
+    assert lower <= blocks <= upper
+
+
+@given(
+    n=st.integers(min_value=32, max_value=96),
+    density=st.floats(min_value=0.01, max_value=0.1),
+    seed=st.integers(0, 2**16),
+    algorithm=st.sampled_from(["jaccard", "graycode", "identity"]),
+    n_cols=st.integers(min_value=1, max_value=9),
+)
+@settings(max_examples=25, deadline=None)
+def test_pipeline_result_is_permutation_independent(n, density, seed, algorithm, n_cols):
+    rng = np.random.default_rng(seed)
+    A = uniform_random(n, n, density=density, rng=rng)
+    B = rng.normal(size=(n, n_cols)).astype(np.float32)
+    reference = A.spmm(B)
+    smat = SMaT(A, SMaTConfig(reorder=algorithm))
+    np.testing.assert_allclose(smat.multiply(B), reference, rtol=1e-3, atol=1e-3)
