@@ -11,7 +11,6 @@ bandwidth, fits Eq. 1 on the simulated runtimes, and reports the fit
 quality and the variant-over-naive speedups.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import LinearPerformanceModel

@@ -22,9 +22,10 @@ Quick start
 (2048, 8)
 """
 
-from . import analysis, core, formats, gpu, kernels, matrices, reorder
+from . import analysis, core, engine, formats, gpu, kernels, matrices, reorder
 from .core import (
     DEFAULT_LIBRARIES,
+    ExecutionPlan,
     LibraryMeasurement,
     LinearPerformanceModel,
     MultiplyReport,
@@ -33,6 +34,7 @@ from .core import (
     SMaTConfig,
     compare_libraries,
 )
+from .engine import SpMMEngine
 from .formats import BCSRMatrix, COOMatrix, CSCMatrix, CSRMatrix, DenseMatrix, SRBCRSMatrix
 from .gpu import A100_SXM4_40GB, GPUArchitecture, Precision
 from .kernels import (
@@ -50,6 +52,8 @@ __all__ = [
     "__version__",
     "SMaT",
     "SMaTConfig",
+    "SpMMEngine",
+    "ExecutionPlan",
     "PreprocessReport",
     "MultiplyReport",
     "LinearPerformanceModel",
@@ -77,5 +81,6 @@ __all__ = [
     "gpu",
     "kernels",
     "core",
+    "engine",
     "analysis",
 ]

@@ -4,13 +4,18 @@ library comparison harness."""
 from .comparison import DEFAULT_LIBRARIES, LibraryMeasurement, compare_libraries
 from .config import SMaTConfig
 from .perfmodel import FitResult, LinearPerformanceModel, block_count_bounds
+from .plan import ExecutionPlan, config_signature, matrix_fingerprint, plan_key
 from .smat import MultiplyReport, PreprocessReport, SMaT
 
 __all__ = [
     "SMaT",
     "SMaTConfig",
+    "ExecutionPlan",
     "PreprocessReport",
     "MultiplyReport",
+    "matrix_fingerprint",
+    "config_signature",
+    "plan_key",
     "LinearPerformanceModel",
     "FitResult",
     "block_count_bounds",

@@ -16,16 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..formats import CSRMatrix
-from ..kernels import (
-    CublasDenseKernel,
-    CusparseCSRKernel,
-    DASPKernel,
-    KernelUnsupportedError,
-    MagicubeKernel,
-    SMaTKernel,
-    get_kernel,
-)
-from ..reorder import get_reorderer
+from ..kernels import KernelUnsupportedError, get_kernel
 from .config import SMaTConfig
 from .smat import SMaT
 

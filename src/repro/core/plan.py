@@ -1,0 +1,303 @@
+"""Reusable SpMM execution plans.
+
+The paper's central performance argument (Figure 1) is *amortisation*: one
+expensive preprocessing pass -- the block-minimising row permutation plus
+the CSR-to-BCSR conversion -- is paid once per sparse matrix and reused
+across arbitrarily many SpMM executions against different dense operands
+``B``.  An :class:`ExecutionPlan` is that prepared state made explicit and
+shareable:
+
+* :class:`~repro.core.smat.SMaT` builds one plan per instance (its
+  ``preprocess()`` stage),
+* :class:`~repro.engine.SpMMEngine` caches plans across matrices keyed by
+  :func:`matrix_fingerprint` so repeated queries skip preprocessing
+  entirely.
+
+A built plan is immutable, and executing it does not mutate any of its
+state, so one plan may be executed concurrently from several threads (the
+engine's batched thread-pool path relies on this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..formats import BCSRMatrix, CSRMatrix
+from ..kernels import KernelResult, SMaTKernel
+from ..reorder import ReorderResult, get_reorderer
+from ..reorder.base import identity_permutation
+from .config import SMaTConfig
+
+__all__ = [
+    "ExecutionPlan",
+    "PreprocessReport",
+    "MultiplyReport",
+    "matrix_fingerprint",
+    "config_signature",
+    "plan_key",
+]
+
+
+@dataclass
+class PreprocessReport:
+    """Summary of the preprocessing (reordering + blocking) stage."""
+
+    algorithm: str
+    applied: bool
+    blocks_before: int
+    blocks_after: int
+    std_before: float
+    std_after: float
+    n_block_rows: int
+    block_shape: Tuple[int, int]
+
+    @property
+    def block_reduction(self) -> float:
+        """Block-count reduction factor achieved by the permutation."""
+        return self.blocks_before / self.blocks_after if self.blocks_after else 1.0
+
+    @property
+    def std_reduction(self) -> float:
+        """Reduction of the blocks-per-row standard deviation (load balance)."""
+        return self.std_before / self.std_after if self.std_after else 1.0
+
+
+@dataclass
+class MultiplyReport:
+    """Summary of one SpMM execution."""
+
+    gflops: float
+    simulated_ms: float
+    n_blocks: int
+    useful_flops: float
+    bound: str
+    kernel_meta: Dict[str, object] = field(default_factory=dict)
+    preprocessing: Optional[PreprocessReport] = None
+
+
+def matrix_fingerprint(A: CSRMatrix) -> str:
+    """Content hash identifying a CSR matrix for plan reuse.
+
+    Covers the shape, the sparsity structure (``rowptr``/``col``) *and*
+    the stored values: two matrices with the same pattern but different
+    values produce different products, so they must not share a cached
+    plan.  The hash is a 128-bit BLAKE2b digest -- collisions are
+    negligible, and hashing is orders of magnitude cheaper than the
+    reordering pass it guards.
+
+    The digest is memoised on the matrix instance so per-query cache
+    lookups are O(1) instead of re-hashing O(nnz) bytes per batch item;
+    like the rest of the pipeline (plans keep references to ``A``), this
+    treats the matrix arrays as immutable once constructed.
+    """
+    cached = getattr(A, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.asarray([A.nrows, A.ncols, A.nnz], dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(A.rowptr).tobytes())
+    h.update(np.ascontiguousarray(A.col).tobytes())
+    h.update(np.ascontiguousarray(A.val).tobytes())
+    digest = h.hexdigest()
+    A._fingerprint = digest
+    return digest
+
+
+def config_signature(config: SMaTConfig) -> Tuple:
+    """Hashable signature of every configuration field that changes the
+    prepared state (permutation, BCSR blocking, or kernel instance)."""
+    variant = config.variant if isinstance(config.variant, str) else config.variant.label
+    return (
+        config.resolved_precision().key,
+        config.resolved_block_shape(),
+        config.reorder.lower(),
+        bool(config.reorder_columns),
+        repr(sorted(config.reorder_params.items())),
+        bool(config.auto_skip_reordering),
+        variant,
+        config.arch.name,
+    )
+
+
+def plan_key(A: CSRMatrix, config: SMaTConfig) -> Tuple[str, Tuple]:
+    """Cache key under which a plan for ``(A, config)`` is stored."""
+    return (matrix_fingerprint(A), config_signature(config))
+
+
+class ExecutionPlan:
+    """Prepared state for executing ``C = A @ B`` many times.
+
+    Holds the row (and optional column) permutation, the permuted matrix,
+    the preprocessing report, and a kernel instance whose internal BCSR
+    representation is already built.  Create plans with :meth:`build`;
+    instances are immutable and thread-safe to :meth:`execute`.
+    """
+
+    def __init__(
+        self,
+        A: CSRMatrix,
+        config: SMaTConfig,
+        *,
+        row_perm: np.ndarray,
+        col_perm: Optional[np.ndarray],
+        permuted: CSRMatrix,
+        kernel: SMaTKernel,
+        report: PreprocessReport,
+        reorder_result: Optional[ReorderResult] = None,
+    ):
+        self.A = A
+        self.config = config
+        self.row_perm = row_perm
+        self.col_perm = col_perm
+        self.permuted = permuted
+        self.kernel = kernel
+        self.report = report
+        self.reorder_result = reorder_result
+
+    @classmethod
+    def build(cls, A: CSRMatrix, config: Optional[SMaTConfig] = None) -> "ExecutionPlan":
+        """Run the full preprocessing pipeline (Section IV-C) for ``A``.
+
+        Computes the block-minimising permutation, applies it (unless
+        ``auto_skip_reordering`` decides the input ordering is already at
+        least as good), and prepares the BCSR Tensor-Core kernel.
+        """
+        if not isinstance(A, CSRMatrix):
+            raise TypeError("ExecutionPlan expects a repro.formats.CSRMatrix input")
+        config = (config or SMaTConfig()).validate()
+
+        block_shape = config.resolved_block_shape()
+        name = config.reorder.lower()
+        if name in ("identity", "none"):
+            reorderer = get_reorderer("identity", block_shape=block_shape)
+        else:
+            reorderer = get_reorderer(
+                name,
+                block_shape=block_shape,
+                permute_columns=config.reorder_columns,
+                **config.reorder_params,
+            )
+        result = reorderer.reorder(A, with_stats=True)
+
+        applied = True
+        if (
+            config.auto_skip_reordering
+            and result.stats_before is not None
+            and result.stats_after is not None
+            and result.stats_after.n_blocks >= result.stats_before.n_blocks
+        ):
+            # the input ordering is already at least as good (e.g. band
+            # matrices); keep the identity, as the paper's pipeline does
+            applied = False
+
+        if applied:
+            row_perm = result.row_perm
+            col_perm = result.col_perm
+            permuted = A.permute_rows(result.row_perm)
+            if result.col_perm is not None:
+                permuted = permuted.permute_cols(result.col_perm)
+        else:
+            row_perm = identity_permutation(A.nrows)
+            col_perm = None
+            permuted = A
+
+        kernel = SMaTKernel(
+            config.arch,
+            config.precision,
+            variant=config.variant,
+            block_shape=block_shape,
+        )
+        kernel.prepare(permuted)
+
+        stats_before = result.stats_before
+        stats_after = result.stats_after if applied else result.stats_before
+        report = PreprocessReport(
+            algorithm=result.algorithm if applied else "identity",
+            applied=applied,
+            blocks_before=stats_before.n_blocks if stats_before else 0,
+            blocks_after=stats_after.n_blocks if stats_after else 0,
+            std_before=stats_before.std_blocks_per_row if stats_before else 0.0,
+            std_after=stats_after.std_blocks_per_row if stats_after else 0.0,
+            n_block_rows=stats_after.n_block_rows if stats_after else 0,
+            block_shape=block_shape,
+        )
+        return cls(
+            A,
+            config,
+            row_perm=row_perm,
+            col_perm=col_perm,
+            permuted=permuted,
+            kernel=kernel,
+            report=report,
+            reorder_result=result,
+        )
+
+    # -- accessors ------------------------------------------------------------------
+    @property
+    def bcsr(self) -> BCSRMatrix:
+        """The internal BCSR representation of the (permuted) matrix."""
+        assert self.kernel.bcsr is not None
+        return self.kernel.bcsr
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.A.shape
+
+    # -- execution ------------------------------------------------------------------
+    def run_kernel(self, B: np.ndarray) -> KernelResult:
+        """Run the kernel and return the full
+        :class:`~repro.kernels.base.KernelResult` (result rows are in the
+        permuted order)."""
+        B_arr = np.asarray(B)
+        if B_arr.ndim == 1:
+            B_arr = B_arr.reshape(-1, 1)
+        if self.col_perm is not None:
+            # A' = P_r A P_c^T, so  A B = P_r^T A' (P_c B)
+            B_arr = B_arr[self.col_perm]
+        return self.kernel.run(B_arr)
+
+    def execute(
+        self,
+        B: np.ndarray,
+        *,
+        keep_permuted: bool = False,
+    ) -> Tuple[np.ndarray, MultiplyReport]:
+        """Compute ``C = A @ B`` and return it with a :class:`MultiplyReport`.
+
+        ``B`` may be a ``(K, N)`` dense matrix or a length-``K`` vector
+        (SpMV); a vector input yields a vector output.  With
+        ``keep_permuted`` the result stays in the permuted row order
+        (``P A B``) instead of undoing the row permutation.
+        """
+        B_arr = np.asarray(B)
+        was_vector = B_arr.ndim == 1
+        result = self.run_kernel(B_arr)
+        C = result.C
+        if not keep_permuted:
+            # row i of the permuted result is original row row_perm[i]
+            C_out = np.empty_like(C)
+            C_out[self.row_perm] = C
+            C = C_out
+        if was_vector:
+            C = C.ravel()
+        report = MultiplyReport(
+            gflops=result.gflops,
+            simulated_ms=result.time_ms,
+            n_blocks=int(result.meta.get("n_blocks", 0)),
+            useful_flops=result.counters.useful_flops,
+            bound=result.timing.bound,
+            kernel_meta=dict(result.meta),
+            preprocessing=self.report,
+        )
+        return C, report
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ExecutionPlan A={self.A.shape} nnz={self.A.nnz} "
+            f"reorder={self.config.reorder!r} variant={self.config.variant!r} "
+            f"blocks={self.report.blocks_after}>"
+        )

@@ -9,6 +9,11 @@ This module mirrors the user-facing pipeline of Figure 1:
 3. **Execution** -- the BCSR Tensor-Core kernel (Section IV-D), run as
    many times as needed against different dense matrices ``B``.
 
+The prepared state of steps 1-2 lives in a reusable
+:class:`~repro.core.plan.ExecutionPlan`; ``SMaT`` is the one-matrix
+convenience wrapper around it, and :class:`~repro.engine.SpMMEngine`
+caches plans across many matrices for serving-style workloads.
+
 Example
 -------
 >>> from repro import SMaT, SMaTConfig
@@ -24,55 +29,16 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from ..formats import BCSRMatrix, CSRMatrix
-from ..kernels import KernelResult, SMaTKernel
-from ..reorder import ReorderResult, get_reorderer
-from ..reorder.base import identity_permutation
+from ..kernels import KernelResult
 from .config import SMaTConfig
+from .plan import ExecutionPlan, MultiplyReport, PreprocessReport
 
 __all__ = ["SMaT", "PreprocessReport", "MultiplyReport"]
-
-
-@dataclass
-class PreprocessReport:
-    """Summary of the preprocessing (reordering + blocking) stage."""
-
-    algorithm: str
-    applied: bool
-    blocks_before: int
-    blocks_after: int
-    std_before: float
-    std_after: float
-    n_block_rows: int
-    block_shape: Tuple[int, int]
-
-    @property
-    def block_reduction(self) -> float:
-        """Block-count reduction factor achieved by the permutation."""
-        return self.blocks_before / self.blocks_after if self.blocks_after else 1.0
-
-    @property
-    def std_reduction(self) -> float:
-        """Reduction of the blocks-per-row standard deviation (load balance)."""
-        return self.std_before / self.std_after if self.std_after else 1.0
-
-
-@dataclass
-class MultiplyReport:
-    """Summary of one SpMM execution."""
-
-    gflops: float
-    simulated_ms: float
-    n_blocks: int
-    useful_flops: float
-    bound: str
-    kernel_meta: Dict[str, object] = field(default_factory=dict)
-    preprocessing: Optional[PreprocessReport] = None
 
 
 class SMaT:
@@ -95,12 +61,7 @@ class SMaT:
             raise TypeError("SMaT expects a repro.formats.CSRMatrix input (the paper's input format)")
         self.config = (config or SMaTConfig()).validate()
         self.A = A
-        self._row_perm: Optional[np.ndarray] = None
-        self._col_perm: Optional[np.ndarray] = None
-        self._permuted: Optional[CSRMatrix] = None
-        self._reorder_result: Optional[ReorderResult] = None
-        self._preprocess_report: Optional[PreprocessReport] = None
-        self._kernel: Optional[SMaTKernel] = None
+        self._plan: Optional[ExecutionPlan] = None
         if preprocess:
             self.preprocess()
 
@@ -108,89 +69,37 @@ class SMaT:
     def preprocess(self) -> PreprocessReport:
         """Compute (and apply) the block-minimising permutation and build the
         kernel's internal BCSR representation.  Idempotent."""
-        if self._preprocess_report is not None:
-            return self._preprocess_report
-
-        block_shape = self.config.resolved_block_shape()
-        name = self.config.reorder.lower()
-        if name in ("identity", "none"):
-            reorderer = get_reorderer("identity", block_shape=block_shape)
-        else:
-            reorderer = get_reorderer(
-                name,
-                block_shape=block_shape,
-                permute_columns=self.config.reorder_columns,
-                **self.config.reorder_params,
-            )
-        result = reorderer.reorder(self.A, with_stats=True)
-
-        applied = True
-        if (
-            self.config.auto_skip_reordering
-            and result.stats_before is not None
-            and result.stats_after is not None
-            and result.stats_after.n_blocks >= result.stats_before.n_blocks
-        ):
-            # the input ordering is already at least as good (e.g. band
-            # matrices); keep the identity, as the paper's pipeline does
-            applied = False
-
-        if applied:
-            self._row_perm = result.row_perm
-            self._col_perm = result.col_perm
-            permuted = self.A.permute_rows(result.row_perm)
-            if result.col_perm is not None:
-                permuted = permuted.permute_cols(result.col_perm)
-        else:
-            self._row_perm = identity_permutation(self.A.nrows)
-            self._col_perm = None
-            permuted = self.A
-
-        self._permuted = permuted
-        self._reorder_result = result
-
-        self._kernel = SMaTKernel(
-            self.config.arch,
-            self.config.precision,
-            variant=self.config.variant,
-            block_shape=block_shape,
-        )
-        self._kernel.prepare(permuted)
-
-        stats_before = result.stats_before
-        stats_after = result.stats_after if applied else result.stats_before
-        self._preprocess_report = PreprocessReport(
-            algorithm=result.algorithm if applied else "identity",
-            applied=applied,
-            blocks_before=stats_before.n_blocks if stats_before else 0,
-            blocks_after=stats_after.n_blocks if stats_after else 0,
-            std_before=stats_before.std_blocks_per_row if stats_before else 0.0,
-            std_after=stats_after.std_blocks_per_row if stats_after else 0.0,
-            n_block_rows=stats_after.n_block_rows if stats_after else 0,
-            block_shape=block_shape,
-        )
-        return self._preprocess_report
+        if self._plan is None:
+            self._plan = ExecutionPlan.build(self.A, self.config)
+        return self._plan.report
 
     # -- accessors ------------------------------------------------------------------
     @property
+    def plan(self) -> ExecutionPlan:
+        """The underlying (lazily built) :class:`ExecutionPlan`."""
+        self.preprocess()
+        assert self._plan is not None
+        return self._plan
+
+    @property
+    def _preprocess_report(self) -> Optional[PreprocessReport]:
+        """Report of the preprocessing stage, or ``None`` before it ran."""
+        return self._plan.report if self._plan is not None else None
+
+    @property
     def row_permutation(self) -> np.ndarray:
         """Row permutation applied during preprocessing ("new -> old")."""
-        self.preprocess()
-        assert self._row_perm is not None
-        return self._row_perm
+        return self.plan.row_perm
 
     @property
     def column_permutation(self) -> Optional[np.ndarray]:
         """Column permutation, or ``None`` when only rows were permuted."""
-        self.preprocess()
-        return self._col_perm
+        return self.plan.col_perm
 
     @property
     def bcsr(self) -> BCSRMatrix:
         """The internal BCSR representation of the (permuted) matrix."""
-        self.preprocess()
-        assert self._kernel is not None and self._kernel.bcsr is not None
-        return self._kernel.bcsr
+        return self.plan.bcsr
 
     @property
     def preprocess_report(self) -> PreprocessReport:
@@ -224,54 +133,16 @@ class SMaT:
         -------
         C or (C, report)
         """
-        self.preprocess()
-        assert self._kernel is not None and self._row_perm is not None
-
-        B_arr = np.asarray(B)
-        was_vector = B_arr.ndim == 1
-        if was_vector:
-            B_arr = B_arr.reshape(-1, 1)
-        if self._col_perm is not None:
-            # A' = P_r A P_c^T, so  A B = P_r^T A' (P_c B)
-            B_arr = B_arr[self._col_perm]
-
-        result: KernelResult = self._kernel.run(B_arr)
-        C = result.C
-        if not keep_permuted:
-            inverse = np.empty_like(self._row_perm)
-            inverse[self._row_perm] = np.arange(self._row_perm.size)
-            # row i of the permuted result is original row row_perm[i]
-            C_out = np.empty_like(C)
-            C_out[self._row_perm] = C
-            C = C_out
-        if was_vector:
-            C = C.ravel()
-
+        C, report = self.plan.execute(B, keep_permuted=keep_permuted)
         if not return_report:
             return C
-        report = MultiplyReport(
-            gflops=result.gflops,
-            simulated_ms=result.time_ms,
-            n_blocks=int(result.meta.get("n_blocks", 0)),
-            useful_flops=result.counters.useful_flops,
-            bound=result.timing.bound,
-            kernel_meta=dict(result.meta),
-            preprocessing=self._preprocess_report,
-        )
         return C, report
 
     def run_kernel(self, B: np.ndarray) -> KernelResult:
         """Low-level access: run the kernel and return the full
         :class:`~repro.kernels.base.KernelResult` (result rows are in the
         permuted order)."""
-        self.preprocess()
-        assert self._kernel is not None
-        B_arr = np.asarray(B)
-        if B_arr.ndim == 1:
-            B_arr = B_arr.reshape(-1, 1)
-        if self._col_perm is not None:
-            B_arr = B_arr[self._col_perm]
-        return self._kernel.run(B_arr)
+        return self.plan.run_kernel(B)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -14,10 +14,10 @@ Use :func:`~repro.formats.conversions.convert` for generic conversions and
 :mod:`repro.formats.io` for Matrix Market I/O.
 """
 
-from .base import SparseFormat, DEFAULT_VALUE_DTYPE, index_dtype_for
+from .base import DEFAULT_VALUE_DTYPE, SparseFormat, index_dtype_for
 from .bcsr import BCSRMatrix
+from .conversions import FORMAT_REGISTRY, convert, register_format
 from .coo import COOMatrix
-from .conversions import convert, register_format, FORMAT_REGISTRY
 from .csc import CSCMatrix
 from .csr import CSRMatrix
 from .dense import DenseMatrix

@@ -17,9 +17,9 @@ rationale).  The model has four parts:
 
 from .arch import (
     A100_SXM4_40GB,
-    GPUArchitecture,
     H100_SXM5_80GB,
     V100_SXM2_16GB,
+    GPUArchitecture,
     get_architecture,
 )
 from .cost import CostModel, KernelEfficiency, SimulatedTiming

@@ -25,9 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-import numpy as np
-
-from .arch import GPUArchitecture, A100_SXM4_40GB
+from .arch import A100_SXM4_40GB, GPUArchitecture
 from .counters import KernelCounters
 from .memory import AccessPattern, MemoryModel
 from .precision import Precision, get_precision

@@ -13,6 +13,7 @@ Additional generators cover the application domains the paper motivates
 by unit tests (uniform random, block random, hidden clusters).
 """
 
+from . import suitesparse
 from .band import band_matrix, band_sparsity, bandwidth_for_sparsity
 from .clustered import add_dense_rows, hidden_cluster_matrix, shuffle_rows
 from .graph import contact_map_graph, rmat_graph, scale_free_graph
@@ -24,7 +25,6 @@ from .random import (
     row_skewed_random,
     uniform_random,
 )
-from . import suitesparse
 
 __all__ = [
     "band_matrix",

@@ -29,7 +29,6 @@ substitution rationale.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -37,7 +36,7 @@ import numpy as np
 
 from ..formats import CSRMatrix
 from .band import band_matrix
-from .clustered import add_dense_rows, hidden_cluster_matrix, shuffle_rows
+from .clustered import hidden_cluster_matrix, shuffle_rows
 from .graph import contact_map_graph, scale_free_graph
 from .lattice import block_band_matrix
 from .mesh import fem_block_mesh, shell_structure

@@ -20,6 +20,13 @@ class TestParser:
         assert args.size == 1024
         assert args.n == 16
 
+    def test_engine_defaults(self):
+        args = build_parser().parse_args(["engine"])
+        assert args.matrix == "cant"
+        assert args.batch == 16
+        assert args.workers == 4
+        assert args.cache_size == 8
+
 
 class TestCommands:
     def test_matrices_listing(self, capsys):
@@ -47,6 +54,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "jaccard" in out and "graycode" in out
         assert "reduction" in out
+
+    def test_engine_command(self, capsys):
+        code = main([
+            "engine", "--matrix", "dc2", "--scale", "0.03", "--n", "4",
+            "--batch", "4", "--workers", "2", "--cache-size", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cold" in out and "warm" in out
+        assert "cache_hits" in out
+        assert "speedup" in out
 
     def test_band_command(self, capsys):
         code = main(["band", "--size", "512", "--n", "4"])

@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 
 from repro import SMaT, SMaTConfig
-from repro.formats import CSRMatrix
 from repro.gpu import V100_SXM2_16GB
-from repro.matrices import band_matrix, hidden_cluster_matrix, uniform_random
+from repro.matrices import band_matrix, hidden_cluster_matrix
 
 
 @pytest.fixture
@@ -80,6 +79,20 @@ class TestPipeline:
         C_perm = smat.multiply(B, keep_permuted=True)
         perm = smat.row_permutation
         np.testing.assert_allclose(C_perm, clustered.spmm(B)[perm], rtol=1e-3, atol=1e-3)
+
+    def test_unpermute_restores_original_row_order(self, clustered, B):
+        """Regression: the un-permute branch scatters the permuted result
+        back via ``C[row_perm] = C_perm`` ("new -> old" semantics); an
+        unused ``inverse`` permutation array that used to shadow it was
+        removed.  Pin the exact scatter relation on a matrix whose
+        permutation is non-trivial."""
+        smat = SMaT(clustered)
+        perm = smat.row_permutation
+        assert not np.array_equal(perm, np.arange(clustered.nrows))
+        C = smat.multiply(B)
+        C_perm = smat.multiply(B, keep_permuted=True)
+        np.testing.assert_array_equal(C[perm], C_perm)
+        np.testing.assert_allclose(C, clustered.spmm(B), rtol=1e-3, atol=1e-3)
 
     def test_report_contents(self, clustered, B):
         smat = SMaT(clustered)

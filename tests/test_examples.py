@@ -7,7 +7,6 @@ silently as the library evolves.
 """
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import numpy as np

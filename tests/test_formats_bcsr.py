@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.formats import BCSRMatrix, CSRMatrix
-from repro.matrices import band_matrix, block_random, uniform_random
+from repro.matrices import band_matrix, uniform_random
 
 
 class TestConversion:

@@ -5,19 +5,19 @@ import pytest
 
 from repro.gpu import (
     A100_SXM4_40GB,
+    H100_SXM5_80GB,
+    V100_SXM2_16GB,
     AccessPattern,
     CostModel,
-    H100_SXM5_80GB,
     KernelCounters,
     KernelEfficiency,
     MemoryModel,
     Precision,
     TensorCoreModel,
-    V100_SXM2_16GB,
+    assign_round_robin,
     get_architecture,
     get_precision,
     makespan_cycles,
-    assign_round_robin,
 )
 from repro.gpu.pipeline import PipelineConfig, per_block_cycles, warp_total_cycles
 

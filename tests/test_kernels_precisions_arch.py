@@ -10,7 +10,7 @@ or slower architecture moves the simulated time the right way.
 import numpy as np
 import pytest
 
-from repro.gpu import A100_SXM4_40GB, H100_SXM5_80GB, V100_SXM2_16GB, Precision
+from repro.gpu import A100_SXM4_40GB, H100_SXM5_80GB, V100_SXM2_16GB
 from repro.kernels import CublasDenseKernel, SMaTKernel
 from repro.matrices import band_matrix, uniform_random
 
@@ -37,7 +37,6 @@ class TestPrecisions:
     def test_block_shape_matches_mma_shape(self, A, B, precision):
         kernel = SMaTKernel(precision=precision)
         kernel.prepare(A)
-        p = Precision[precision.upper()] if precision != "fp16" else Precision.FP16
         assert kernel.block_shape == kernel.precision.block_shape
         assert kernel.bcsr.block_shape == kernel.precision.block_shape
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.formats import CSRMatrix
-from repro.matrices import band_matrix, hidden_cluster_matrix, shuffle_rows, uniform_random
+from repro.matrices import band_matrix, hidden_cluster_matrix
 from repro.reorder import (
     GrayCodeReorderer,
     HypergraphReorderer,
@@ -154,7 +154,6 @@ class TestJaccard:
 class TestRCM:
     def test_reduces_bandwidth_of_shuffled_band(self):
         band = band_matrix(256, 4, rng=np.random.default_rng(0))
-        shuffled = shuffle_rows(band, fraction=1.0, rng=np.random.default_rng(1))
         # symmetric shuffle: apply same permutation to rows and columns so the
         # matrix stays symmetric (RCM operates on the adjacency graph)
         perm = np.random.default_rng(2).permutation(256)
