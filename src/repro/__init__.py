@@ -22,7 +22,7 @@ Quick start
 (2048, 8)
 """
 
-from . import analysis, core, engine, formats, gpu, kernels, matrices, reorder
+from . import analysis, core, engine, formats, gpu, kernels, matrices, reorder, tuner
 from .core import (
     DEFAULT_LIBRARIES,
     ExecutionPlan,
@@ -36,6 +36,7 @@ from .core import (
 )
 from .engine import SpMMEngine
 from .formats import BCSRMatrix, COOMatrix, CSCMatrix, CSRMatrix, DenseMatrix, SRBCRSMatrix
+from .tuner import Tuner, TuningCache, TuningResult
 from .gpu import A100_SXM4_40GB, GPUArchitecture, Precision
 from .kernels import (
     CublasDenseKernel,
@@ -53,6 +54,9 @@ __all__ = [
     "SMaT",
     "SMaTConfig",
     "SpMMEngine",
+    "Tuner",
+    "TuningResult",
+    "TuningCache",
     "ExecutionPlan",
     "PreprocessReport",
     "MultiplyReport",
@@ -82,5 +86,6 @@ __all__ = [
     "kernels",
     "core",
     "engine",
+    "tuner",
     "analysis",
 ]

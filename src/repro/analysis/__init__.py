@@ -1,6 +1,7 @@
 """Result analysis and reporting utilities used by the benchmarks."""
 
 from .export import measurements_to_rows, rows_to_csv, rows_to_json
+from .regression import MetricComparison, compare_metrics, extract_metrics
 from .report import format_speedup_summary, format_table, series_to_rows
 from .stats import (
     DistributionSummary,
@@ -15,6 +16,9 @@ __all__ = [
     "rows_to_csv",
     "rows_to_json",
     "measurements_to_rows",
+    "extract_metrics",
+    "compare_metrics",
+    "MetricComparison",
     "format_table",
     "format_speedup_summary",
     "series_to_rows",

@@ -1,0 +1,231 @@
+"""Performance-regression gate for the CI benchmark job.
+
+The benchmark suite publishes its headline numbers (cache-hit speedup,
+batched throughput, tuned-vs-default ratio, ...) in the pytest-benchmark
+JSON output, under each benchmark's ``extra_info``.  This module
+
+1. **extracts** those numbers into a flat ``{metric: value}`` mapping,
+   where a metric is named ``<group>.<test>.<key>`` (e.g.
+   ``engine_batching.test_plan_cache_hit_speedup.speedup``),
+2. **compares** them against a committed baseline
+   (``benchmarks/BENCH_baseline.json``), where every baseline entry
+   carries its own tolerance direction (``"higher"`` is better for
+   throughputs/speedups, ``"lower"`` for latencies), and
+3. **emits** a ``BENCH_pr.json`` report -- the artifact CI uploads --
+   and exits non-zero when any baseline metric regressed by more than
+   the threshold (default 30%).
+
+A metric listed in the baseline but missing from the current run also
+fails the gate: silently dropping a benchmark must not pass as "no
+regression".
+
+Run as a module::
+
+    python -m repro.analysis.regression bench_raw.json \\
+        --baseline benchmarks/BENCH_baseline.json \\
+        --output BENCH_pr.json --threshold 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "MetricComparison",
+    "extract_metrics",
+    "compare_metrics",
+    "build_report",
+    "main",
+]
+
+#: default failure threshold: >30% regression vs the committed baseline
+DEFAULT_THRESHOLD = 0.30
+
+
+@dataclass
+class MetricComparison:
+    """Verdict for one baseline metric."""
+
+    metric: str
+    #: "higher" or "lower" (which direction is better)
+    direction: str
+    baseline: float
+    current: Optional[float]
+    #: current/baseline for "higher", baseline/current for "lower";
+    #: >= 1.0 means at-or-better than baseline, None when unmeasurable
+    ratio: Optional[float]
+    regressed: bool
+    #: optional absolute floor/ceiling (see ``min_value`` in the baseline)
+    min_value: Optional[float] = None
+
+    @property
+    def change_pct(self) -> Optional[float]:
+        """Signed percent change vs baseline (positive = improvement)."""
+        if self.ratio is None:
+            return None
+        return 100.0 * (self.ratio - 1.0)
+
+
+def extract_metrics(benchmark_json: dict) -> Dict[str, float]:
+    """Flatten a pytest-benchmark JSON document into named metrics.
+
+    Every numeric ``extra_info`` entry of every benchmark becomes one
+    metric ``<group>.<test>.<key>`` (the group falls back to the test
+    name when the benchmark has no group).  Parametrised benchmarks keep
+    their ``[...]`` suffix so variants never collapse onto (and silently
+    overwrite) one metric.  Non-numeric extras (tables, strings) are
+    ignored.
+    """
+    metrics: Dict[str, float] = {}
+    for bench in benchmark_json.get("benchmarks", []):
+        test = bench.get("name", "")
+        group = bench.get("group") or test.split("[", 1)[0]
+        for key, value in (bench.get("extra_info") or {}).items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            metrics[f"{group}.{test}.{key}"] = float(value)
+    return metrics
+
+
+def compare_metrics(
+    current: Dict[str, float],
+    baseline: Dict[str, dict],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[MetricComparison]:
+    """Compare current metrics against the committed baseline.
+
+    ``baseline`` maps metric names to ``{"value": float, "direction":
+    "higher"|"lower"}`` records (extra keys -- e.g. a comment -- are
+    ignored).  Metrics present in the current run but absent from the
+    baseline are not compared: the baseline pins exactly the metrics the
+    gate guards.
+
+    A baseline entry may additionally set ``"min_value"``: an absolute
+    floor ("higher" metrics) or ceiling ("lower" metrics) that fails the
+    gate regardless of the relative threshold.  This is how metrics with
+    a structural lower bound stay guarded -- e.g. ``tuned_vs_default`` is
+    >= 1.0 by construction, so a 30% relative band below a ~1.3 baseline
+    can never trip, but a floor of 1.25 catches the tuner losing its
+    benefit.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be a fraction in (0, 1)")
+    comparisons: List[MetricComparison] = []
+    for metric in sorted(baseline):
+        spec = baseline[metric]
+        direction = str(spec.get("direction", "higher")).lower()
+        if direction not in ("higher", "lower"):
+            raise ValueError(
+                f"baseline metric {metric!r}: direction must be 'higher' or 'lower'"
+            )
+        base_value = float(spec["value"])
+        min_value = float(spec["min_value"]) if "min_value" in spec else None
+        value = current.get(metric)
+        if value is None or base_value <= 0 or value <= 0:
+            # a vanished (or degenerate) metric cannot prove it did not
+            # regress -- fail closed
+            comparisons.append(
+                MetricComparison(
+                    metric=metric,
+                    direction=direction,
+                    baseline=base_value,
+                    current=value,
+                    ratio=None,
+                    regressed=True,
+                    min_value=min_value,
+                )
+            )
+            continue
+        ratio = value / base_value if direction == "higher" else base_value / value
+        regressed = ratio < 1.0 - threshold
+        if min_value is not None:
+            if direction == "higher":
+                regressed = regressed or value < min_value
+            else:
+                regressed = regressed or value > min_value
+        comparisons.append(
+            MetricComparison(
+                metric=metric,
+                direction=direction,
+                baseline=base_value,
+                current=value,
+                ratio=ratio,
+                regressed=regressed,
+                min_value=min_value,
+            )
+        )
+    return comparisons
+
+
+def build_report(
+    current: Dict[str, float],
+    comparisons: List[MetricComparison],
+    threshold: float,
+) -> dict:
+    """The ``BENCH_pr.json`` payload uploaded as a CI artifact."""
+    return {
+        "threshold": threshold,
+        "passed": not any(c.regressed for c in comparisons),
+        "comparisons": [asdict(c) for c in comparisons],
+        "metrics": dict(sorted(current.items())),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.regression",
+        description="gate benchmark results against a committed baseline",
+    )
+    parser.add_argument("benchmark_json", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="committed baseline file (metric -> {value, direction})",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_pr.json", help="report file to write (CI artifact)"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fail on regressions beyond this fraction (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.benchmark_json, encoding="utf-8") as fh:
+        current = extract_metrics(json.load(fh))
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline_doc = json.load(fh)
+    baseline = baseline_doc.get("metrics", baseline_doc)
+
+    comparisons = compare_metrics(current, baseline, threshold=args.threshold)
+    report = build_report(current, comparisons, args.threshold)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    for comp in comparisons:
+        status = "REGRESSED" if comp.regressed else "ok"
+        shown = "missing" if comp.current is None else f"{comp.current:.4g}"
+        change = "" if comp.change_pct is None else f" ({comp.change_pct:+.1f}%)"
+        print(
+            f"[{status:>9}] {comp.metric}: {shown} vs baseline "
+            f"{comp.baseline:.4g} ({comp.direction} is better){change}"
+        )
+    print(f"report written to {args.output}")
+    if not report["passed"]:
+        print(
+            f"FAIL: regression beyond {100 * args.threshold:.0f}% of baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("all baseline metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -15,6 +15,10 @@ script:
   batch of operands through the plan-caching :class:`~repro.engine.SpMMEngine`
   twice (cold then warm) and reports the cache-hit speedup and batched
   throughput;
+* ``python -m repro tune --matrix cant --scale 0.1`` runs the per-matrix
+  auto-tuner (block shape x reordering search) and prints the search
+  table: every candidate with its predicted cost, measured time, and the
+  winner;
 * ``python -m repro matrices`` lists the available Table-I stand-ins.
 """
 
@@ -35,6 +39,30 @@ from .reorder import get_reorderer
 __all__ = ["main", "build_parser"]
 
 
+def _scale_type(text: str) -> float:
+    """Argparse type for ``--scale``: a float in (0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid scale value: {text!r}") from None
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"scale must be in (0, 1], got {value!r}"
+        )
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"value must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -44,8 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_compare = sub.add_parser("compare", help="compare libraries on one matrix")
     p_compare.add_argument("--matrix", default="cop20k_A", help="Table-I matrix name")
-    p_compare.add_argument("--scale", type=float, default=0.1, help="stand-in scale (0..1]")
-    p_compare.add_argument("--n", type=int, default=8, help="columns of the dense matrix B")
+    p_compare.add_argument("--scale", type=_scale_type, default=0.1, help="stand-in scale (0..1]")
+    p_compare.add_argument(
+        "--n", type=_positive_int, default=8, help="columns of the dense matrix B"
+    )
     p_compare.add_argument(
         "--libraries",
         default="smat,dasp,magicube,cusparse",
@@ -54,12 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--reorder", default="jaccard", help="SMaT preprocessing algorithm")
 
     p_band = sub.add_parser("band", help="band-matrix sweep against cuBLAS (Figure 9)")
-    p_band.add_argument("--size", type=int, default=4096, help="matrix dimension")
-    p_band.add_argument("--n", type=int, default=8, help="columns of B")
+    p_band.add_argument("--size", type=_positive_int, default=4096, help="matrix dimension")
+    p_band.add_argument("--n", type=_positive_int, default=8, help="columns of B")
 
     p_reorder = sub.add_parser("reorder", help="reordering-algorithm ablation")
     p_reorder.add_argument("--matrix", default="mip1")
-    p_reorder.add_argument("--scale", type=float, default=0.1)
+    p_reorder.add_argument("--scale", type=_scale_type, default=0.1)
     p_reorder.add_argument(
         "--algorithms", default="jaccard,saad,rcm,graycode,hypergraph"
     )
@@ -68,12 +98,57 @@ def build_parser() -> argparse.ArgumentParser:
         "engine", help="batched SpMM through the plan-caching execution engine"
     )
     p_engine.add_argument("--matrix", default="cant", help="Table-I matrix name")
-    p_engine.add_argument("--scale", type=float, default=0.1, help="stand-in scale (0..1]")
-    p_engine.add_argument("--n", type=int, default=8, help="columns of each dense operand B")
-    p_engine.add_argument("--batch", type=int, default=16, help="operands per batch")
-    p_engine.add_argument("--workers", type=int, default=4, help="engine worker threads")
-    p_engine.add_argument("--cache-size", type=int, default=8, help="plan-cache capacity")
+    p_engine.add_argument("--scale", type=_scale_type, default=0.1, help="stand-in scale (0..1]")
+    p_engine.add_argument(
+        "--n", type=_positive_int, default=8, help="columns of each dense operand B"
+    )
+    p_engine.add_argument("--batch", type=_positive_int, default=16, help="operands per batch")
+    p_engine.add_argument(
+        "--workers", type=_positive_int, default=4, help="engine worker threads"
+    )
+    p_engine.add_argument(
+        "--cache-size", type=_positive_int, default=8, help="plan-cache capacity"
+    )
     p_engine.add_argument("--reorder", default="jaccard", help="preprocessing algorithm")
+    p_engine.add_argument(
+        "--tune",
+        action="store_true",
+        help="build tuned plans through the auto-tuner (persistent tuning cache)",
+    )
+
+    p_tune = sub.add_parser(
+        "tune", help="auto-tune block shape x reordering for one matrix"
+    )
+    p_tune.add_argument("--matrix", default="cant", help="Table-I matrix name")
+    p_tune.add_argument("--scale", type=_scale_type, default=0.1, help="stand-in scale (0..1]")
+    p_tune.add_argument(
+        "--n", type=_positive_int, default=8, help="operand width N the search optimises for"
+    )
+    p_tune.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=8,
+        help="measurement budget (candidates given a real timed run)",
+    )
+    p_tune.add_argument(
+        "--reorderers",
+        default=None,
+        help="comma-separated algorithm list (default: the Section IV-C ablation set)",
+    )
+    p_tune.add_argument(
+        "--repeats", type=_positive_int, default=1, help="timed runs per measured candidate"
+    )
+    p_tune.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="tuning-cache file (default: $REPRO_TUNING_CACHE or the user cache dir)",
+    )
+    p_tune.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="search fresh and do not persist the result",
+    )
 
     sub.add_parser("matrices", help="list the Table-I stand-ins")
     return parser
@@ -154,6 +229,7 @@ def _cmd_engine(args) -> int:
         SMaTConfig(reorder=args.reorder),
         cache_size=args.cache_size,
         max_workers=args.workers,
+        tune=args.tune,
     ) as engine:
         for label in ("cold", "warm"):
             before = engine.cache_stats
@@ -193,6 +269,47 @@ def _cmd_engine(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    from .tuner import Tuner
+
+    A = suitesparse.load(args.matrix, scale=args.scale)
+    reorderers = (
+        [x.strip() for x in args.reorderers.split(",") if x.strip()]
+        if args.reorderers
+        else None
+    )
+    tuner_kwargs = dict(
+        n_cols=args.n,
+        max_measure=args.budget,
+        repeats=args.repeats,
+    )
+    if reorderers:
+        tuner_kwargs["reorderers"] = reorderers
+    tuner = Tuner(cache=False if args.no_cache else args.cache, **tuner_kwargs)
+
+    config = SMaTConfig()
+    result = tuner.tune(A, config, store=True)
+    print(format_table(
+        result.table(),
+        title=(
+            f"auto-tuning {args.matrix} (scale={args.scale}), N={args.n}: "
+            f"{len(result.outcomes)} candidates, {result.n_measured} measured, "
+            f"{result.n_pruned} pruned by the analytical model"
+        ),
+    ))
+    best = result.best
+    default = result.default
+    print(
+        f"winner: {best.candidate.label} "
+        f"(measured {best.simulated_ms:.4f} ms vs default "
+        f"{default.candidate.label} {default.simulated_ms:.4f} ms -> "
+        f"{result.tuned_vs_default:.2f}x); search took {result.search_ms:.0f} ms"
+    )
+    if tuner.cache is not None:
+        print(f"result persisted to {tuner.cache.path} (entries: {len(tuner.cache)})")
+    return 0
+
+
 def _cmd_matrices(_args) -> int:
     rows = [
         {
@@ -216,6 +333,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "band": _cmd_band,
         "reorder": _cmd_reorder,
         "engine": _cmd_engine,
+        "tune": _cmd_tune,
         "matrices": _cmd_matrices,
     }
     return handlers[args.command](args)

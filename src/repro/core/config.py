@@ -26,6 +26,10 @@ class SMaTConfig:
         Name of the preprocessing reordering algorithm (``"jaccard"`` --
         the paper's choice, ``"rcm"``, ``"saad"``, ``"graycode"``,
         ``"hypergraph"``, or ``"identity"`` / ``"none"`` to disable).
+        ``"auto"`` delegates the choice (together with the block shape)
+        to the per-matrix auto-tuner (:mod:`repro.tuner`); the search
+        result is persisted in the on-disk tuning cache, so it is paid
+        once per matrix.
     reorder_columns:
         Also permute columns (the paper evaluates this and concludes it is
         not worth the extra cost of permuting ``B``; default False).

@@ -29,7 +29,9 @@ import numpy as np
 __all__ = ["LinearPerformanceModel", "FitResult", "block_count_bounds"]
 
 
-def block_count_bounds(nnz: int, n_rows: int, n_cols: int, block_shape: Tuple[int, int]) -> Tuple[int, int]:
+def block_count_bounds(
+    nnz: int, n_rows: int, n_cols: int, block_shape: Tuple[int, int]
+) -> Tuple[int, int]:
     """Eq. 2: bounds on the number of non-zero blocks of any blocking of a
     matrix with ``nnz`` non-zeros."""
     h, w = int(block_shape[0]), int(block_shape[1])

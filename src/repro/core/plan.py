@@ -170,6 +170,14 @@ class ExecutionPlan:
             raise TypeError("ExecutionPlan expects a repro.formats.CSRMatrix input")
         config = (config or SMaTConfig()).validate()
 
+        if config.reorder.lower() == "auto":
+            # tuned pipeline: resolve the configuration through the
+            # auto-tuner (persistent-cache hit, or a one-off search);
+            # imported lazily to keep core free of a tuner dependency
+            from ..tuner import resolve_auto_config
+
+            config = resolve_auto_config(A, config)
+
         block_shape = config.resolved_block_shape()
         name = config.reorder.lower()
         if name in ("identity", "none"):

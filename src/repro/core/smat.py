@@ -56,9 +56,13 @@ class SMaT:
         first :meth:`multiply` call triggers it.
     """
 
-    def __init__(self, A: CSRMatrix, config: Optional[SMaTConfig] = None, *, preprocess: bool = True):
+    def __init__(
+        self, A: CSRMatrix, config: Optional[SMaTConfig] = None, *, preprocess: bool = True
+    ):
         if not isinstance(A, CSRMatrix):
-            raise TypeError("SMaT expects a repro.formats.CSRMatrix input (the paper's input format)")
+            raise TypeError(
+                "SMaT expects a repro.formats.CSRMatrix input (the paper's input format)"
+            )
         self.config = (config or SMaTConfig()).validate()
         self.A = A
         self._plan: Optional[ExecutionPlan] = None

@@ -136,6 +136,23 @@ class SpMMEngine:
         Threads executing batch items concurrently (default 4).  Plan
         builds are deduplicated across threads, and plan execution is
         read-only, so any worker count is safe.
+    tune:
+        Route every plan build through the auto-tuner
+        (:mod:`repro.tuner`): the first sight of a matrix runs (or loads
+        from the persistent tuning cache) a block-shape x reordering
+        search, and the plan is built from the winning configuration.
+        Equivalent to ``SMaTConfig(reorder="auto")`` but applied to every
+        item regardless of its configuration.
+    tuner:
+        A pre-configured :class:`~repro.tuner.Tuner` to use when ``tune``
+        is enabled (overrides ``tuning_cache``); lets callers control the
+        search budget and candidate space.
+    tuning_cache:
+        Path (or :class:`~repro.tuner.TuningCache`) of the persistent
+        tuning cache; ``None`` selects the default on-disk location.
+        Engines pointing at the same path share search results -- also
+        across processes.  Passing ``tuning_cache`` (like ``tuner``)
+        implies ``tune=True``.
     """
 
     def __init__(
@@ -144,11 +161,21 @@ class SpMMEngine:
         *,
         cache_size: int = 8,
         max_workers: int = 4,
+        tune: bool = False,
+        tuner=None,
+        tuning_cache=None,
     ):
         if max_workers < 1:
             raise ValueError("SpMMEngine needs at least one worker thread")
         self.config = (config or SMaTConfig()).validate()
         self.max_workers = int(max_workers)
+        if tuner is not None or tuning_cache is not None:
+            tune = True
+        if tune and tuner is None:
+            from ..tuner import Tuner
+
+            tuner = Tuner(cache=tuning_cache)
+        self.tuner = tuner
         self._cache = PlanCache(cache_size)
         self._executor: Optional[ThreadPoolExecutor] = None
         self._tickets: Dict[int, "Future[BatchResult]"] = {}
@@ -167,6 +194,14 @@ class SpMMEngine:
         self, A: CSRMatrix, config: Optional[SMaTConfig]
     ) -> Tuple[ExecutionPlan, bool]:
         cfg = (config or self.config).validate()
+        if self.tuner is not None:
+            # key on the *requested* configuration and resolve inside the
+            # build factory: the plan cache's per-key build lock then also
+            # deduplicates concurrent tuning searches for the same matrix
+            key = (plan_key(A, cfg), "tuned")
+            return self._cache.get_or_build(
+                key, lambda: ExecutionPlan.build(A, self.tuner.resolve(A, cfg))
+            )
         key = plan_key(A, cfg)
         return self._cache.get_or_build(key, lambda: ExecutionPlan.build(A, cfg))
 

@@ -13,7 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict
 
-__all__ = ["GPUArchitecture", "A100_SXM4_40GB", "V100_SXM2_16GB", "H100_SXM5_80GB", "get_architecture"]
+__all__ = [
+    "GPUArchitecture",
+    "A100_SXM4_40GB",
+    "V100_SXM2_16GB",
+    "H100_SXM5_80GB",
+    "get_architecture",
+]
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,12 @@ from dataclasses import dataclass
 from .arch import GPUArchitecture
 from .precision import Precision, get_precision
 
-__all__ = ["TensorCoreModel", "LDMATRIX_X2_CYCLES", "LDMATRIX_X4_CYCLES", "MMA_PIPELINE_LATENCY_CYCLES"]
+__all__ = [
+    "TensorCoreModel",
+    "LDMATRIX_X2_CYCLES",
+    "LDMATRIX_X4_CYCLES",
+    "MMA_PIPELINE_LATENCY_CYCLES",
+]
 
 #: issue cost (cycles) of ldmatrix.x2 / .x4 per warp, from Ampere
 #: microbenchmarking literature (Abdelkhalik et al. 2022)

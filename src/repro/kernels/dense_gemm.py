@@ -82,7 +82,9 @@ class CublasDenseKernel(SpMMKernel):
         return KernelEfficiency(
             tensor_core=TC_EFFICIENCY,
             cuda_core=0.7,
-            memory=AccessPattern(coalescing=MEMORY_EFFICIENCY, bank_conflict_factor=1.0, l2_hit_rate=0.3),
+            memory=AccessPattern(
+                coalescing=MEMORY_EFFICIENCY, bank_conflict_factor=1.0, l2_hit_rate=0.3
+            ),
             scalar_ipc=4.0,
         )
 

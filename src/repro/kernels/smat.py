@@ -90,9 +90,11 @@ class SMaTVariant:
     def label(self) -> str:
         if not (self.use_bcsr_pointers or self.use_tensor_cores or self.use_async_copy):
             return "naive"
-        return ("C" if self.use_async_copy else "") + \
-               ("B" if self.use_bcsr_pointers else "") + \
-               ("T" if self.use_tensor_cores else "")
+        return (
+            ("C" if self.use_async_copy else "")
+            + ("B" if self.use_bcsr_pointers else "")
+            + ("T" if self.use_tensor_cores else "")
+        )
 
 
 class SMaTKernel(SpMMKernel):

@@ -168,7 +168,9 @@ def greedy_cluster_rows(
             inter = np.empty(0, dtype=np.int64)
 
         if cand.size:
-            scores = similarity(inter.astype(np.float64), patterns.sizes[cand].astype(np.float64), seed_size)
+            scores = similarity(
+                inter.astype(np.float64), patterns.sizes[cand].astype(np.float64), seed_size
+            )
             chosen = cand[scores >= threshold]
             if max_cluster_size is not None and chosen.size > max_cluster_size - 1:
                 # keep the most similar rows

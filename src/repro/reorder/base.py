@@ -152,7 +152,10 @@ class Reorderer(abc.ABC):
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<{type(self).__name__} block_shape={self.block_shape} columns={self.permute_columns}>"
+        return (
+            f"<{type(self).__name__} block_shape={self.block_shape} "
+            f"columns={self.permute_columns}>"
+        )
 
 
 # -- registry -------------------------------------------------------------------

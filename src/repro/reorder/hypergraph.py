@@ -94,7 +94,10 @@ class HypergraphReorderer(Reorderer):
         for _ in range(self.refinement_passes):
             moved = False
             # move from the larger side first to preserve balance
-            for source, dest, on_left in ((left_list, right_list, True), (right_list, left_list, False)):
+            for source, dest, on_left in (
+                (left_list, right_list, True),
+                (right_list, left_list, False),
+            ):
                 if len(source) <= min_side:
                     continue
                 gains = np.array([gain(r, on_left) for r in source])

@@ -48,7 +48,9 @@ class BlockingStats:
     @property
     def cv(self) -> float:
         """Coefficient of variation of the blocks-per-row distribution."""
-        return self.std_blocks_per_row / self.mean_blocks_per_row if self.mean_blocks_per_row else 0.0
+        if not self.mean_blocks_per_row:
+            return 0.0
+        return self.std_blocks_per_row / self.mean_blocks_per_row
 
 
 def _apply_perms(

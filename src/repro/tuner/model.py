@@ -1,0 +1,158 @@
+"""Model-guided pruning of the tuning search space.
+
+Measuring a candidate is expensive: it runs a full preprocessing pass
+(reordering + BCSR conversion) before the kernel can be timed.  This
+module prices candidates *without* reordering, using the paper's own
+machinery:
+
+1. **Calibration** (per block shape / kernel variant / precision / arch /
+   operand width): the linear runtime model of Eq. 1,
+   ``T = T_e * n_e + T_init``, is fitted with
+   :class:`~repro.core.perfmodel.LinearPerformanceModel` on a handful of
+   tiny synthetic band matrices run through the real
+   :class:`~repro.kernels.SMaTKernel` and :class:`~repro.gpu.cost.CostModel`
+   -- exactly the fit of Figure 2, just automated.  Calibrations are
+   memoised process-wide, so they are paid once, not per matrix.
+2. **Block-count bounds** (per matrix x block shape): the candidate's
+   ``n_e`` after reordering is unknown before the reordering runs, but it
+   is bracketed by Eq. 2: no permutation can pack the matrix below
+   ``ceil(nnz / (h*w))`` blocks, and ``auto_skip_reordering`` guarantees
+   it never ends up *above* the current ordering's block count (which is
+   a cheap O(nnz) :func:`~repro.reorder.metrics.count_blocks` pass).
+
+Together these give every candidate an optimistic / guaranteed predicted
+time, and the search discards candidates whose *optimistic* time is worse
+than the best *guaranteed* time of the space -- they cannot win even with
+a perfect permutation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import SMaTConfig
+from ..core.perfmodel import FitResult, LinearPerformanceModel, block_count_bounds
+from ..formats import CSRMatrix
+from ..kernels import SMaTKernel
+from ..matrices import band_matrix
+from ..reorder.metrics import count_blocks
+
+__all__ = ["CandidateEstimate", "calibrate", "estimate_candidate", "clear_calibration_cache"]
+
+#: dimension of the synthetic calibration matrices; small enough that one
+#: calibration costs a few milliseconds, large enough to span block counts
+CALIBRATION_DIM = 512
+#: band widths of the calibration samples (varying n_e, as in Figure 2)
+CALIBRATION_BANDWIDTHS = (2, 8, 32, 96)
+
+_CalKey = Tuple[Tuple[int, int], str, str, str, int]
+_CALIBRATIONS: Dict[_CalKey, FitResult] = {}
+_CAL_LOCK = threading.Lock()
+
+
+@dataclass(frozen=True)
+class CandidateEstimate:
+    """Analytical prediction for one candidate on one matrix."""
+
+    #: block count of the matrix in its current ordering (guaranteed
+    #: achievable: auto_skip_reordering falls back to it)
+    blocks_now: int
+    #: Eq. 2 lower bound on the block count of *any* ordering
+    blocks_lower_bound: int
+    #: predicted time at ``blocks_now`` (seconds)
+    guaranteed_s: float
+    #: predicted time at ``blocks_lower_bound`` (seconds)
+    optimistic_s: float
+
+    @property
+    def optimistic_ms(self) -> float:
+        return 1e3 * self.optimistic_s
+
+    @property
+    def guaranteed_ms(self) -> float:
+        return 1e3 * self.guaranteed_s
+
+
+def _calibration_key(config: SMaTConfig, block_shape: Tuple[int, int], n_cols: int) -> _CalKey:
+    variant = config.variant if isinstance(config.variant, str) else config.variant.label
+    return (
+        (int(block_shape[0]), int(block_shape[1])),
+        config.resolved_precision().key,
+        variant,
+        config.arch.name,
+        int(n_cols),
+    )
+
+
+def calibrate(config: SMaTConfig, block_shape: Tuple[int, int], n_cols: int) -> FitResult:
+    """Fit Eq. 1 for one (block shape, variant, precision, arch, N) point.
+
+    Runs the real kernel on tiny band matrices of varying bandwidth and
+    fits simulated time against the resulting block counts.  Memoised
+    process-wide.
+    """
+    key = _calibration_key(config, block_shape, n_cols)
+    with _CAL_LOCK:
+        cached = _CALIBRATIONS.get(key)
+    if cached is not None:
+        return cached
+
+    rng = np.random.default_rng(0)
+    B = rng.normal(size=(CALIBRATION_DIM, n_cols)).astype(np.float32)
+    counts = []
+    times = []
+    for bw in CALIBRATION_BANDWIDTHS:
+        A = band_matrix(CALIBRATION_DIM, bw, rng=np.random.default_rng(bw))
+        kernel = SMaTKernel(
+            config.arch,
+            config.precision,
+            variant=config.variant,
+            block_shape=block_shape,
+        )
+        kernel.prepare(A)
+        result = kernel.run(B)
+        counts.append(float(result.counters.extra.get("n_blocks", 0.0)))
+        times.append(result.timing.time_s)
+    fit = LinearPerformanceModel().fit(counts, times)
+    with _CAL_LOCK:
+        _CALIBRATIONS[key] = fit
+    return fit
+
+
+def clear_calibration_cache() -> None:
+    """Drop the memoised Eq. 1 calibrations (mainly for tests)."""
+    with _CAL_LOCK:
+        _CALIBRATIONS.clear()
+
+
+def estimate_candidate(
+    A: CSRMatrix,
+    config: SMaTConfig,
+    block_shape: Tuple[int, int],
+    *,
+    reorders: bool,
+    n_cols: int,
+    blocks_now: Optional[int] = None,
+) -> CandidateEstimate:
+    """Predicted time bracket for one candidate.
+
+    ``reorders`` is False for the identity candidate, whose block count is
+    exactly the current ordering's (no bracket).  ``blocks_now`` lets the
+    caller reuse one :func:`count_blocks` pass across every candidate
+    sharing a block shape (the count is an O(nnz) scan of ``A``).
+    """
+    fit = calibrate(config, block_shape, n_cols)
+    if blocks_now is None:
+        blocks_now = count_blocks(A, block_shape)
+    lower, _ = block_count_bounds(A.nnz, A.nrows, A.ncols, block_shape)
+    blocks_best = lower if reorders else blocks_now
+    return CandidateEstimate(
+        blocks_now=blocks_now,
+        blocks_lower_bound=blocks_best,
+        guaranteed_s=float(fit.predict(blocks_now)),
+        optimistic_s=float(fit.predict(blocks_best)),
+    )

@@ -26,6 +26,53 @@ class TestParser:
         assert args.batch == 16
         assert args.workers == 4
         assert args.cache_size == 8
+        assert args.tune is False
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune"])
+        assert args.matrix == "cant"
+        assert args.scale == 0.1
+        assert args.budget == 8
+        assert args.no_cache is False
+        assert args.cache is None
+
+
+class TestArgumentValidation:
+    """Bad arguments exit with argparse's code 2 and a clean message,
+    not a traceback."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["engine", "--scale", "0"],
+            ["engine", "--scale", "1.5"],
+            ["engine", "--scale", "nope"],
+            ["engine", "--batch", "0"],
+            ["engine", "--workers", "0"],
+            ["engine", "--workers", "-2"],
+            ["engine", "--cache-size", "0"],
+            ["engine", "--n", "0"],
+            ["tune", "--scale", "2"],
+            ["tune", "--budget", "0"],
+            ["tune", "--repeats", "0"],
+            ["compare", "--scale", "-0.1"],
+            ["compare", "--n", "0"],
+            ["band", "--size", "0"],
+            ["reorder", "--scale", "0"],
+        ],
+    )
+    def test_bad_arguments_exit_code_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
 
 
 class TestCommands:
@@ -71,3 +118,35 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "cuBLAS" in out and "SMaT" in out
+
+    def test_tune_command_no_cache(self, capsys):
+        code = main([
+            "tune", "--matrix", "dc2", "--scale", "0.03", "--n", "4",
+            "--budget", "3", "--reorderers", "identity,jaccard", "--no-cache",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "auto-tuning dc2" in out
+        assert "winner:" in out
+        assert "pruned" in out
+        assert "persisted" not in out  # --no-cache skips persistence
+
+    def test_tune_command_persists_cache(self, capsys, tmp_path):
+        cache = tmp_path / "tune.json"
+        code = main([
+            "tune", "--matrix", "dc2", "--scale", "0.03", "--n", "4",
+            "--budget", "3", "--reorderers", "identity,jaccard",
+            "--cache", str(cache),
+        ])
+        assert code == 0
+        assert "entries: 1" in capsys.readouterr().out
+        assert cache.exists()
+
+    def test_engine_command_tuned(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNING_CACHE", str(tmp_path / "t.json"))
+        code = main([
+            "engine", "--matrix", "dc2", "--scale", "0.03", "--n", "4",
+            "--batch", "2", "--workers", "1", "--tune",
+        ])
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out

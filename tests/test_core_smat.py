@@ -145,7 +145,9 @@ class TestPreprocessing:
         bcsr = smat.bcsr
         assert bcsr.n_blocks == smat.preprocess_report.blocks_after
 
-    @pytest.mark.parametrize("algorithm", ["jaccard", "rcm", "saad", "graycode", "hypergraph", "identity"])
+    @pytest.mark.parametrize(
+        "algorithm", ["jaccard", "rcm", "saad", "graycode", "hypergraph", "identity"]
+    )
     def test_all_reorderers_produce_correct_results(self, clustered, B, algorithm):
         smat = SMaT(clustered, SMaTConfig(reorder=algorithm))
         C = smat.multiply(B)

@@ -24,11 +24,18 @@ def _load_example(name: str):
 
 class TestExampleFiles:
     def test_all_examples_present(self):
-        expected = {"quickstart.py", "gnn_spmm.py", "band_sweep.py", "reordering_study.py"}
+        expected = {
+            "quickstart.py",
+            "gnn_spmm.py",
+            "band_sweep.py",
+            "reordering_study.py",
+            "tuning_study.py",
+        }
         assert expected <= {p.name for p in EXAMPLES_DIR.glob("*.py")}
 
     @pytest.mark.parametrize(
-        "name", ["quickstart", "gnn_spmm", "band_sweep", "reordering_study"]
+        "name",
+        ["quickstart", "gnn_spmm", "band_sweep", "reordering_study", "tuning_study"],
     )
     def test_examples_importable_and_have_main(self, name):
         module = _load_example(name)

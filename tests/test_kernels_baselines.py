@@ -72,8 +72,10 @@ class TestCuSPARSE:
         assert t_s > t_b * 0.9  # never meaningfully faster on the skewed input
 
     def test_time_grows_with_n(self, A, rng):
-        t8 = CusparseCSRKernel().multiply(A, rng.normal(size=(A.ncols, 8)).astype(np.float32)).time_ms
-        t64 = CusparseCSRKernel().multiply(A, rng.normal(size=(A.ncols, 64)).astype(np.float32)).time_ms
+        B8 = rng.normal(size=(A.ncols, 8)).astype(np.float32)
+        B64 = rng.normal(size=(A.ncols, 64)).astype(np.float32)
+        t8 = CusparseCSRKernel().multiply(A, B8).time_ms
+        t64 = CusparseCSRKernel().multiply(A, B64).time_ms
         assert t64 > t8
 
 

@@ -48,7 +48,8 @@ class TestBandMatrix:
         assert np.all(ones.val == 1.0)
         dd = band_matrix(32, 2, value_mode="diagonal_dominant")
         dense = dd.to_dense()
-        assert np.all(np.abs(np.diag(dense)) >= np.abs(dense - np.diag(np.diag(dense))).sum(axis=1) - 1e-3)
+        off_diagonal = np.abs(dense - np.diag(np.diag(dense))).sum(axis=1)
+        assert np.all(np.abs(np.diag(dense)) >= off_diagonal - 1e-3)
 
     def test_invalid_arguments(self):
         with pytest.raises(ValueError):

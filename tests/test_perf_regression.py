@@ -1,0 +1,208 @@
+"""Tests for the CI perf-regression gate (analysis.regression).
+
+The acceptance property: the gate passes on healthy numbers, and a >30%
+injected slowdown makes the comparison script exit non-zero (which is
+what fails the CI job) while still writing the ``BENCH_pr.json``
+artifact.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.regression import (
+    build_report,
+    compare_metrics,
+    extract_metrics,
+    main,
+)
+
+REPO_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "BENCH_baseline.json"
+
+
+def bench_doc(speedup: float = 12.0, gflops: float = 300.0) -> dict:
+    """A minimal pytest-benchmark JSON document."""
+    return {
+        "benchmarks": [
+            {
+                "name": "test_plan_cache_hit_speedup",
+                "group": "engine_batching",
+                "extra_info": {
+                    "speedup": speedup,
+                    "cold_ms": 50.0,
+                    "warm_ms": 50.0 / speedup,
+                    "table": "non-numeric, ignored",
+                    "flag": True,  # bools are not metrics
+                },
+            },
+            {
+                "name": "test_throughput[batch=16]",
+                "group": "engine_batching",
+                "extra_info": {"simulated_gflops": gflops},
+            },
+            {
+                "name": "test_throughput[batch=64]",
+                "group": "engine_batching",
+                "extra_info": {"simulated_gflops": gflops * 2},
+            },
+            {
+                "name": "test_no_group",
+                "group": None,
+                "extra_info": {"value": 1.0},
+            },
+        ]
+    }
+
+
+BASELINE = {
+    "engine_batching.test_plan_cache_hit_speedup.speedup": {
+        "value": 10.0,
+        "direction": "higher",
+    },
+    "engine_batching.test_throughput[batch=16].simulated_gflops": {
+        "value": 300.0,
+        "direction": "higher",
+    },
+}
+
+
+class TestExtract:
+    def test_namespaced_numeric_metrics_only(self):
+        metrics = extract_metrics(bench_doc())
+        assert metrics["engine_batching.test_plan_cache_hit_speedup.speedup"] == 12.0
+        # group falls back to the test name
+        assert metrics["test_no_group.test_no_group.value"] == 1.0
+        assert not any("table" in k or "flag" in k for k in metrics)
+
+    def test_parametrised_variants_stay_distinct(self):
+        """Variants must not collapse onto one name (last-write-wins would
+        let a regression in the overwritten variant pass undetected)."""
+        metrics = extract_metrics(bench_doc())
+        assert metrics["engine_batching.test_throughput[batch=16].simulated_gflops"] == 300.0
+        assert metrics["engine_batching.test_throughput[batch=64].simulated_gflops"] == 600.0
+
+    def test_empty_document(self):
+        assert extract_metrics({}) == {}
+
+
+class TestCompare:
+    def test_healthy_run_passes(self):
+        comparisons = compare_metrics(extract_metrics(bench_doc()), BASELINE)
+        assert not any(c.regressed for c in comparisons)
+
+    def test_injected_slowdown_fails(self):
+        # 40% slowdown on the cache-hit speedup: must trip the 30% gate
+        current = extract_metrics(bench_doc(speedup=6.0))
+        comparisons = compare_metrics(current, BASELINE, threshold=0.30)
+        by_name = {c.metric: c for c in comparisons}
+        assert by_name["engine_batching.test_plan_cache_hit_speedup.speedup"].regressed
+        assert not by_name[
+            "engine_batching.test_throughput[batch=16].simulated_gflops"
+        ].regressed
+
+    def test_min_value_floor_guards_bounded_metrics(self):
+        """A metric that is >= 1.0 by construction (tuned_vs_default) can
+        never lose 30% of a ~1.3 baseline; the absolute floor is the
+        effective gate for it."""
+        baseline = {
+            "tuner.t.ratio": {"value": 1.34, "direction": "higher", "min_value": 1.25}
+        }
+        # total loss of the tuner's benefit: ratio collapses to 1.0 --
+        # inside the 30% band (1.0/1.34 = 0.75 > 0.7) but below the floor
+        collapsed = compare_metrics({"tuner.t.ratio": 1.0}, baseline, threshold=0.30)[0]
+        assert collapsed.regressed
+        healthy = compare_metrics({"tuner.t.ratio": 1.30}, baseline, threshold=0.30)[0]
+        assert not healthy.regressed
+
+    def test_min_value_ceiling_for_lower_metrics(self):
+        baseline = {"m.latency_ms": {"value": 100.0, "direction": "lower", "min_value": 120.0}}
+        assert compare_metrics({"m.latency_ms": 125.0}, baseline)[0].regressed
+        assert not compare_metrics({"m.latency_ms": 115.0}, baseline)[0].regressed
+
+    def test_within_threshold_regression_tolerated(self):
+        current = extract_metrics(bench_doc(speedup=8.0))  # -20%: inside 30%
+        comparisons = compare_metrics(current, BASELINE, threshold=0.30)
+        assert not any(c.regressed for c in comparisons)
+
+    def test_missing_metric_fails_closed(self):
+        comparisons = compare_metrics({}, BASELINE)
+        assert all(c.regressed for c in comparisons)
+        assert all(c.current is None for c in comparisons)
+
+    def test_lower_is_better_direction(self):
+        baseline = {"m.latency_ms": {"value": 100.0, "direction": "lower"}}
+        ok = compare_metrics({"m.latency_ms": 110.0}, baseline)[0]
+        bad = compare_metrics({"m.latency_ms": 150.0}, baseline)[0]
+        assert not ok.regressed
+        assert bad.regressed
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            compare_metrics({}, BASELINE, threshold=1.5)
+        with pytest.raises(ValueError):
+            compare_metrics({}, {"m": {"value": 1.0, "direction": "sideways"}})
+
+
+class TestReportAndMain:
+    def _run(self, tmp_path, doc, baseline, threshold="0.30"):
+        bench_file = tmp_path / "raw.json"
+        base_file = tmp_path / "baseline.json"
+        out_file = tmp_path / "BENCH_pr.json"
+        bench_file.write_text(json.dumps(doc))
+        base_file.write_text(json.dumps({"metrics": baseline}))
+        code = main(
+            [
+                str(bench_file),
+                "--baseline",
+                str(base_file),
+                "--output",
+                str(out_file),
+                "--threshold",
+                threshold,
+            ]
+        )
+        return code, json.loads(out_file.read_text())
+
+    def test_healthy_run_exits_zero_and_writes_artifact(self, tmp_path, capsys):
+        code, report = self._run(tmp_path, bench_doc(), BASELINE)
+        assert code == 0
+        assert report["passed"] is True
+        assert len(report["comparisons"]) == len(BASELINE)
+        assert "engine_batching.test_plan_cache_hit_speedup.speedup" in report["metrics"]
+        assert "all baseline metrics within threshold" in capsys.readouterr().out
+
+    def test_injected_slowdown_fails_the_job(self, tmp_path, capsys):
+        """Acceptance criterion: a >30% slowdown makes the gate exit 1
+        (failing the CI job) while the artifact is still written."""
+        code, report = self._run(tmp_path, bench_doc(speedup=6.0), BASELINE)
+        assert code == 1
+        assert report["passed"] is False
+        regressed = [c for c in report["comparisons"] if c["regressed"]]
+        assert [c["metric"] for c in regressed] == [
+            "engine_batching.test_plan_cache_hit_speedup.speedup"
+        ]
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_build_report_shape(self):
+        current = extract_metrics(bench_doc())
+        comparisons = compare_metrics(current, BASELINE)
+        report = build_report(current, comparisons, 0.30)
+        assert set(report) == {"threshold", "passed", "comparisons", "metrics"}
+
+
+class TestCommittedBaseline:
+    """The file the CI job actually uses must stay well-formed."""
+
+    def test_baseline_parses_with_valid_directions(self):
+        doc = json.loads(REPO_BASELINE.read_text())
+        metrics = doc["metrics"]
+        assert metrics, "committed baseline must pin at least one metric"
+        for name, spec in metrics.items():
+            assert spec["direction"] in ("higher", "lower"), name
+            assert float(spec["value"]) > 0, name
+
+    def test_baseline_covers_tuner_and_engine(self):
+        metrics = json.loads(REPO_BASELINE.read_text())["metrics"]
+        assert any(m.startswith("engine_batching.") for m in metrics)
+        assert any(m.startswith("tuner.") for m in metrics)
