@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+import time
+from typing import Callable, Dict, Iterable, Sequence
 
 import numpy as np
 
@@ -12,12 +13,23 @@ from repro.formats import CSRMatrix
 from repro.matrices import suitesparse
 
 __all__ = [
+    "best_of",
     "dense_rhs",
     "measure_libraries",
     "reordering_sweep",
     "print_figure",
     "load_standins",
 ]
+
+
+def best_of(fn: Callable[[], object], repeats: int = 5) -> float:
+    """Minimum wall-clock milliseconds of ``fn`` over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, 1e3 * (time.perf_counter() - start))
+    return best
 
 #: library display order used throughout the figures
 LIBRARY_ORDER = ("SMaT", "DASP", "Magicube", "cuSPARSE", "cuBLAS")

@@ -22,7 +22,7 @@ Quick start
 (2048, 8)
 """
 
-from . import analysis, core, engine, formats, gpu, kernels, matrices, reorder, tuner
+from . import analysis, core, engine, formats, gpu, kernels, matrices, reorder, shard, tuner
 from .core import (
     DEFAULT_LIBRARIES,
     ExecutionPlan,
@@ -36,6 +36,7 @@ from .core import (
 )
 from .engine import SpMMEngine
 from .formats import BCSRMatrix, COOMatrix, CSCMatrix, CSRMatrix, DenseMatrix, SRBCRSMatrix
+from .shard import ShardedSpMM
 from .tuner import Tuner, TuningCache, TuningResult
 from .gpu import A100_SXM4_40GB, GPUArchitecture, Precision
 from .kernels import (
@@ -54,6 +55,7 @@ __all__ = [
     "SMaT",
     "SMaTConfig",
     "SpMMEngine",
+    "ShardedSpMM",
     "Tuner",
     "TuningResult",
     "TuningCache",
@@ -86,6 +88,7 @@ __all__ = [
     "kernels",
     "core",
     "engine",
+    "shard",
     "tuner",
     "analysis",
 ]

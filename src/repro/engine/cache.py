@@ -126,6 +126,17 @@ class PlanCache:
             self._evictions += 1
 
     # -- maintenance ----------------------------------------------------------
+    def reserve(self, minsize: int) -> None:
+        """Grow the capacity to at least ``minsize`` (never shrinks).
+
+        Workloads with a known working set -- e.g. a sharded multiply
+        needing one partition plus one plan per shard resident at once --
+        use this to avoid permanent LRU thrash on undersized caches.
+        """
+        with self._lock:
+            if minsize > self.maxsize:
+                self.maxsize = int(minsize)
+
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         with self._lock:

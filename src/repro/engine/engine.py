@@ -206,6 +206,12 @@ class SpMMEngine:
         return self._cache.get_or_build(key, lambda: ExecutionPlan.build(A, cfg))
 
     @property
+    def plan_cache(self) -> PlanCache:
+        """The engine's shared plan cache (used by the sharded subsystem
+        to key per-shard plans alongside whole-matrix plans)."""
+        return self._cache
+
+    @property
     def cache_stats(self) -> CacheStats:
         """Snapshot of the plan cache's hit/miss/eviction counters."""
         return self._cache.stats
@@ -298,6 +304,106 @@ class SpMMEngine:
             useful_flops=sum(r.report.useful_flops for r in results),
             cache=self._cache.stats,
         )
+
+    # -- sharded execution ----------------------------------------------------
+    def partition_for(
+        self,
+        A: CSRMatrix,
+        grid,
+        *,
+        mode: str = "nnz",
+        config: Optional[SMaTConfig] = None,
+        n_cols: int = 8,
+    ):
+        """Return the (cached) :class:`~repro.shard.Partition` of ``A``
+        for the given grid and balancing mode.
+
+        Partitions live in the plan cache next to the plans built from
+        them, so repeated sharded queries skip the O(nnz) panel
+        extraction as well as preprocessing.  The cache is grown (never
+        shrunk) to hold the partition plus every shard plan at once --
+        an undersized LRU would otherwise silently rebuild shards on
+        every call.
+        """
+        from ..core.plan import matrix_fingerprint
+        from ..shard.partition import make_partition, parse_grid
+
+        self._require_open()
+        cfg = (config or self.config).validate()
+        g = parse_grid(grid)
+        self._cache.reserve(g[0] * g[1] + 2)
+        # n_cols only affects the cost-mode weight scale (the split bounds
+        # are invariant to it), so nnz-mode partitions stay shared across
+        # operand widths
+        key = (
+            "shard-partition",
+            matrix_fingerprint(A),
+            g,
+            mode,
+            cfg.resolved_block_shape(),
+            n_cols if mode == "cost" else None,
+        )
+        partition, _ = self._cache.get_or_build(
+            key, lambda: make_partition(A, g, mode=mode, config=cfg, n_cols=n_cols)
+        )
+        return partition
+
+    def shard_plans_for(self, partition, config: Optional[SMaTConfig] = None):
+        """One :class:`~repro.shard.ShardPlanEntry` per shard, built (or
+        fetched) through the plan cache; per-shard tuning applies when the
+        engine was created with ``tune=True``."""
+        from ..shard.plan import ShardPlanner
+
+        self._require_open()
+        cfg = (config or self.config).validate()
+        planner = ShardPlanner(self._cache, tuner=self.tuner)
+        pool = self._pool_for(len(partition.shards))
+        return planner.plans_for(partition, cfg, executor=pool)
+
+    def execute_sharded(self, partition, entries, B: np.ndarray):
+        """Scatter-gather one sharded multiply on the engine's pool;
+        returns ``(C, ShardedReport)``."""
+        from ..shard.executor import execute_partition
+
+        self._require_open()
+        pool = self._pool_for(len(entries))
+        return execute_partition(partition, entries, B, executor=pool)
+
+    def multiply_sharded(
+        self,
+        A: CSRMatrix,
+        B: np.ndarray,
+        *,
+        grid=4,
+        mode: str = "nnz",
+        config: Optional[SMaTConfig] = None,
+        return_report: bool = False,
+    ):
+        """Compute ``C = A @ B`` through the sharded subsystem.
+
+        ``A`` is split into a balanced shard grid
+        (:mod:`repro.shard.partition`), every shard gets its own cached
+        (and, with ``tune=True``, per-shard tuned) plan, and the shard
+        runs are scatter-gathered on the engine's thread pool.  With
+        ``return_report`` the per-shard breakdown
+        (:class:`~repro.shard.ShardedReport`) is returned alongside ``C``.
+        """
+        self._require_open()
+        cfg = (config or self.config).validate()
+        B_arr = np.asarray(B)
+        n_cols = B_arr.shape[1] if B_arr.ndim == 2 else 1
+        partition = self.partition_for(A, grid, mode=mode, config=cfg, n_cols=n_cols)
+        entries = self.shard_plans_for(partition, cfg)
+        C, report = self.execute_sharded(partition, entries, B)
+        if not return_report:
+            return C
+        return C, report
+
+    def _pool_for(self, n_tasks: int) -> Optional[ThreadPoolExecutor]:
+        """The worker pool, or ``None`` when concurrency cannot help."""
+        if self.max_workers <= 1 or n_tasks <= 1:
+            return None
+        return self._ensure_executor()
 
     # -- async queue API ------------------------------------------------------
     def submit(

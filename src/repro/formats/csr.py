@@ -291,5 +291,57 @@ class CSRMatrix(SparseFormat):
             new_val[nlo : nlo + hi - lo] = self.val[lo:hi]
         return CSRMatrix(new_rowptr, new_col, new_val, (rows.size, self.ncols), check=False)
 
+    def extract_cols(self, cols: np.ndarray) -> "CSRMatrix":
+        """Return a new CSR matrix containing only the given columns
+        (in the given order); the row dimension is unchanged.
+
+        Mirrors :meth:`extract_rows` for the column dimension (the sharded
+        SpMM partitioner slices column panels this way).  ``cols`` must be
+        unique: unlike row extraction, duplicating a column would require
+        duplicating stored entries, which CSR cannot express in one pass.
+        """
+        cols = np.asarray(cols)
+        if cols.ndim != 1:
+            raise ValueError("cols must be a 1-D index array")
+        if cols.size:
+            if cols.min() < 0 or cols.max() >= self.ncols:
+                raise ValueError("column indices out of bounds")
+            if np.unique(cols).size != cols.size:
+                raise ValueError("duplicate column indices are not supported")
+        contiguous = cols.size > 0 and np.array_equal(
+            cols, np.arange(cols[0], cols[0] + cols.size)
+        )
+        if contiguous:
+            # the common panel-extraction case: a range test instead of an
+            # O(ncols) lookup table
+            keep = (self.col >= cols[0]) & (self.col < cols[0] + cols.size)
+            new_col = self.col[keep].astype(np.int64) - int(cols[0])
+            rows = np.repeat(np.arange(self.nrows), np.diff(self.rowptr))[keep]
+            new_val = self.val[keep]
+        else:
+            # old column -> position in the selection (-1 drops the entry)
+            lut = np.full(self.ncols, -1, dtype=np.int64)
+            lut[cols] = np.arange(cols.size)
+            mapped = lut[self.col]
+            keep = mapped >= 0
+            rows = np.repeat(np.arange(self.nrows), np.diff(self.rowptr))[keep]
+            new_col = mapped[keep]
+            new_val = self.val[keep]
+            if cols.size > 1 and np.any(np.diff(cols) < 0):
+                # non-monotone selection scrambles the within-row order
+                order = np.lexsort((new_col, rows))
+                new_col = new_col[order]
+                new_val = new_val[order]
+        counts = np.bincount(rows, minlength=self.nrows)
+        new_rowptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_rowptr[1:])
+        return CSRMatrix(new_rowptr, new_col, new_val, (self.nrows, cols.size), check=False)
+
+    def submatrix(self, rows: np.ndarray, cols: np.ndarray) -> "CSRMatrix":
+        """Return the submatrix addressed by the given row and column index
+        arrays (both in the given order), equivalent to scipy's
+        ``A[rows][:, cols]``."""
+        return self.extract_rows(rows).extract_cols(cols)
+
     def _storage_arrays(self):
         return (self.rowptr, self.col, self.val)

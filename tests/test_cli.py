@@ -36,6 +36,19 @@ class TestParser:
         assert args.no_cache is False
         assert args.cache is None
 
+    def test_shard_defaults(self):
+        args = build_parser().parse_args(["shard"])
+        assert args.matrix == "cant"
+        assert args.grid == "4"
+        assert args.mode == "nnz"
+        assert args.workers == 4
+        assert args.tune is False
+
+    def test_shard_grid_argument(self):
+        args = build_parser().parse_args(["shard", "--grid", "2x2", "--mode", "cost"])
+        assert args.grid == "2x2"
+        assert args.mode == "cost"
+
 
 class TestArgumentValidation:
     """Bad arguments exit with argparse's code 2 and a clean message,
@@ -59,6 +72,12 @@ class TestArgumentValidation:
             ["compare", "--n", "0"],
             ["band", "--size", "0"],
             ["reorder", "--scale", "0"],
+            ["shard", "--scale", "0"],
+            ["shard", "--workers", "0"],
+            ["shard", "--grid", "0x2"],
+            ["shard", "--grid", "2x2x2"],
+            ["shard", "--n", "0"],
+            ["shard", "--mode", "banana"],
         ],
     )
     def test_bad_arguments_exit_code_2(self, argv, capsys):
@@ -141,6 +160,37 @@ class TestCommands:
         assert code == 0
         assert "entries: 1" in capsys.readouterr().out
         assert cache.exists()
+
+    def test_shard_command_prints_table_and_imbalance(self, capsys):
+        code = main([
+            "shard", "--matrix", "cant", "--scale", "0.1", "--grid", "2x2",
+            "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded SpMM on cant" in out
+        assert "grid 2x2" in out
+        # the per-shard table and its headline metric
+        assert "config" in out and "16x8/" in out
+        assert "nnz imbalance factor:" in out
+        # acceptance criterion: nnz-balanced 2x2 on cant stays <= 1.25
+        imbalance = float(out.split("nnz imbalance factor:", 1)[1].strip().split()[0])
+        assert imbalance <= 1.25
+        assert "single-plan" in out
+
+    def test_shard_command_bad_grid_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["shard", "--matrix", "dc2", "--scale", "0.03", "--grid", "axb"])
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_shard_command_cost_mode(self, capsys):
+        code = main([
+            "shard", "--matrix", "dc2", "--scale", "0.03", "--grid", "2",
+            "--mode", "cost", "--workers", "1", "--n", "4",
+        ])
+        assert code == 0
+        assert "mode=cost" in capsys.readouterr().out
 
     def test_engine_command_tuned(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TUNING_CACHE", str(tmp_path / "t.json"))

@@ -6,7 +6,7 @@ import pytest
 
 from repro import SMaT, SMaTConfig
 from repro.core.plan import ExecutionPlan, config_signature, matrix_fingerprint, plan_key
-from repro.engine import BatchItem, PlanCache, SpMMEngine
+from repro.engine import BatchItem, BatchSummary, PlanCache, SpMMEngine
 from repro.matrices import band_matrix, hidden_cluster_matrix, uniform_random
 
 
@@ -150,6 +150,57 @@ class TestPlanCache:
         assert len(builds) == 1
         assert cache.stats.misses == 1 and cache.stats.hits == 3
 
+    def test_concurrent_distinct_shard_keys_under_eviction(self):
+        """Many threads building distinct (shard-style) keys through a
+        tiny cache: the per-key lock still deduplicates builds per key,
+        every caller gets its own key's value (eviction can drop *cached*
+        entries but never an in-flight build), and eviction pressure is
+        accounted."""
+        import threading
+
+        cache = PlanCache(maxsize=2)
+        n_keys, per_key = 8, 4
+        builds = {k: 0 for k in range(n_keys)}
+        build_lock = threading.Lock()
+        barrier = threading.Barrier(n_keys * per_key)
+        results = []
+        results_lock = threading.Lock()
+
+        def factory(key):
+            with build_lock:
+                builds[key] += 1
+            return ("plan", key)
+
+        def worker(key):
+            barrier.wait()
+            value, _ = cache.get_or_build(("shard", key), lambda: factory(key))
+            with results_lock:
+                results.append((key, value))
+
+        threads = [
+            threading.Thread(target=worker, args=(k,))
+            for k in range(n_keys)
+            for _ in range(per_key)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # every caller observed the value of its own key -- an in-flight
+        # build is never satisfied by (or lost to) an eviction
+        assert len(results) == n_keys * per_key
+        for key, value in results:
+            assert value == ("plan", key)
+        # the per-key build lock deduplicates concurrent first builds; a
+        # key may rebuild only after eviction, never concurrently
+        for key, count in builds.items():
+            assert 1 <= count <= per_key
+        stats = cache.stats
+        assert stats.size <= 2
+        assert stats.evictions >= n_keys - 2
+        assert stats.misses == sum(builds.values())
+
 
 class TestEngineBatching:
     def test_batch_matches_sequential_smat(self, engine, clustered, rng):
@@ -222,6 +273,21 @@ class TestEngineBatching:
         outcome = engine.multiply_batch([fast, slow])
         assert outcome[0].report.simulated_ms <= outcome[1].report.simulated_ms
         np.testing.assert_array_equal(outcome[0].C, outcome[1].C)
+
+
+class TestBatchSummaryGuards:
+    def test_zero_wall_ms_yields_zero_rates(self):
+        """Very small batches can complete inside one timer tick; the
+        throughput properties must report 0.0, not raise or go inf."""
+        summary = BatchSummary(n_items=2, wall_ms=0.0, simulated_ms=0.0, useful_flops=1e6)
+        assert summary.items_per_second == 0.0
+        assert summary.wall_gflops == 0.0
+        assert summary.simulated_gflops == 0.0
+
+    def test_real_small_batch_rates_are_finite(self, engine, clustered, B):
+        outcome = engine.multiply_batch([(clustered, B)])
+        assert np.isfinite(outcome.summary.items_per_second)
+        assert np.isfinite(outcome.summary.wall_gflops)
 
 
 class TestEngineCacheBehaviour:

@@ -30,16 +30,37 @@ class TestExampleFiles:
             "band_sweep.py",
             "reordering_study.py",
             "tuning_study.py",
+            "sharded_spmm.py",
         }
         assert expected <= {p.name for p in EXAMPLES_DIR.glob("*.py")}
 
     @pytest.mark.parametrize(
         "name",
-        ["quickstart", "gnn_spmm", "band_sweep", "reordering_study", "tuning_study"],
+        [
+            "quickstart",
+            "gnn_spmm",
+            "band_sweep",
+            "reordering_study",
+            "tuning_study",
+            "sharded_spmm",
+        ],
     )
     def test_examples_importable_and_have_main(self, name):
         module = _load_example(name)
         assert callable(getattr(module, "main"))
+
+
+class TestShardedExampleHelpers:
+    def test_best_of_returns_min_wall_ms(self):
+        sharded = _load_example("sharded_spmm")
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        ms = sharded.best_of(fn, repeats=3)
+        assert len(calls) == 3
+        assert ms >= 0.0 and np.isfinite(ms)
 
 
 class TestGNNHelpers:

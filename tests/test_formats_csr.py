@@ -154,6 +154,44 @@ class TestPermutations:
         sub = csr.extract_rows(rows)
         np.testing.assert_allclose(sub.to_dense(), small_dense[rows])
 
+    def test_extract_cols_ordered(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        cols = np.array([1, 4, 7])
+        sub = csr.extract_cols(cols)
+        assert sub.shape == (small_dense.shape[0], 3)
+        np.testing.assert_allclose(sub.to_dense(), small_dense[:, cols])
+
+    def test_extract_cols_reordered_selection(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        cols = np.array([10, 2, 7, 0])
+        np.testing.assert_allclose(csr.extract_cols(cols).to_dense(), small_dense[:, cols])
+
+    def test_extract_cols_empty_selection(self, small_csr):
+        sub = small_csr.extract_cols(np.array([], dtype=np.int64))
+        assert sub.shape == (small_csr.nrows, 0)
+        assert sub.nnz == 0
+
+    def test_extract_cols_rejects_out_of_bounds(self, small_csr):
+        with pytest.raises(ValueError):
+            small_csr.extract_cols(np.array([small_csr.ncols]))
+        with pytest.raises(ValueError):
+            small_csr.extract_cols(np.array([-1]))
+
+    def test_extract_cols_rejects_duplicates(self, small_csr):
+        with pytest.raises(ValueError, match="duplicate"):
+            small_csr.extract_cols(np.array([1, 1]))
+
+    def test_extract_cols_rejects_2d(self, small_csr):
+        with pytest.raises(ValueError):
+            small_csr.extract_cols(np.array([[1, 2]]))
+
+    def test_submatrix_matches_dense_slicing(self, small_dense):
+        csr = CSRMatrix.from_dense(small_dense)
+        rows = np.array([5, 1, 8, 2])
+        cols = np.array([9, 0, 3])
+        sub = csr.submatrix(rows, cols)
+        np.testing.assert_allclose(sub.to_dense(), small_dense[np.ix_(rows, cols)])
+
     def test_permutation_roundtrip(self, small_dense):
         csr = CSRMatrix.from_dense(small_dense)
         perm = np.random.default_rng(5).permutation(small_dense.shape[0])

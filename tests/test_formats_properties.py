@@ -115,3 +115,29 @@ def test_col_permutation_is_invertible(dense, seed):
     inverse = np.empty_like(perm)
     inverse[perm] = np.arange(perm.size)
     np.testing.assert_array_equal(permuted.permute_cols(inverse).to_dense(), dense)
+
+
+@given(dense=sparse_dense_arrays(), seed=st.integers(0, 2**16))
+@settings(max_examples=50, deadline=None)
+def test_extract_cols_matches_scipy_slicing(dense, seed):
+    csr = CSRMatrix.from_dense(dense)
+    rng = np.random.default_rng(seed)
+    n_take = int(rng.integers(0, csr.ncols + 1))
+    cols = rng.permutation(csr.ncols)[:n_take]
+    sub = csr.extract_cols(cols)
+    expected = csr.to_scipy()[:, cols].toarray()
+    assert sub.shape == expected.shape
+    np.testing.assert_array_equal(sub.to_dense(), expected)
+
+
+@given(dense=sparse_dense_arrays(), seed=st.integers(0, 2**16))
+@settings(max_examples=50, deadline=None)
+def test_submatrix_matches_scipy_slicing(dense, seed):
+    csr = CSRMatrix.from_dense(dense)
+    rng = np.random.default_rng(seed)
+    rows = rng.permutation(csr.nrows)[: int(rng.integers(1, csr.nrows + 1))]
+    cols = rng.permutation(csr.ncols)[: int(rng.integers(1, csr.ncols + 1))]
+    sub = csr.submatrix(rows, cols)
+    expected = csr.to_scipy()[rows][:, cols].toarray()
+    assert sub.shape == expected.shape
+    np.testing.assert_array_equal(sub.to_dense(), expected)

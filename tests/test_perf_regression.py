@@ -206,3 +206,4 @@ class TestCommittedBaseline:
         metrics = json.loads(REPO_BASELINE.read_text())["metrics"]
         assert any(m.startswith("engine_batching.") for m in metrics)
         assert any(m.startswith("tuner.") for m in metrics)
+        assert any(m.startswith("sharding.") for m in metrics)

@@ -1,0 +1,159 @@
+"""Partitioner: balanced bounds, modes, grids, and shard extraction."""
+
+import numpy as np
+import pytest
+
+from repro import SMaTConfig
+from repro.core.plan import matrix_fingerprint
+from repro.matrices import block_band_matrix, suitesparse, uniform_random
+from repro.shard import (
+    make_partition,
+    parse_grid,
+    partition_grid,
+    partition_rows,
+    shard_fingerprint,
+)
+from repro.shard.plan import ensure_shard_fingerprints
+
+
+class TestParseGrid:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            (4, (4, 1)),
+            ("4", (4, 1)),
+            ("2x2", (2, 2)),
+            ("3X2", (3, 2)),
+            ((2, 3), (2, 3)),
+            (np.int64(5), (5, 1)),
+        ],
+    )
+    def test_accepted_forms(self, spec, expected):
+        assert parse_grid(spec) == expected
+
+    @pytest.mark.parametrize("spec", ["", "2x2x2", "axb", 0, (0, 2), (2, -1), object()])
+    def test_rejected_forms(self, spec):
+        with pytest.raises(ValueError):
+            parse_grid(spec)
+
+
+class TestRowPartition:
+    def test_covers_all_rows_disjointly(self, medium_random):
+        part = partition_rows(medium_random, 4)
+        assert part.grid == (4, 1)
+        bounds = part.row_bounds
+        assert bounds[0] == 0 and bounds[-1] == medium_random.nrows
+        assert np.all(np.diff(bounds) >= 0)
+        assert sum(s.nnz for s in part) == medium_random.nnz
+
+    def test_shards_reconstruct_parent(self, medium_random):
+        part = partition_rows(medium_random, 3)
+        dense = np.vstack([s.matrix.to_dense() for s in part])
+        np.testing.assert_array_equal(dense, medium_random.to_dense())
+
+    def test_nnz_balance_on_standin(self):
+        A = suitesparse.load("cant", scale=0.1)
+        part = partition_rows(A, 4)
+        # acceptance criterion: <= 1.25 for the nnz-balanced mode
+        assert part.imbalance <= 1.25
+
+    def test_bounds_aligned_to_block_rows(self, medium_random):
+        part = partition_rows(medium_random, 4, config=SMaTConfig(block_shape=(16, 8)))
+        assert np.all(part.row_bounds[1:-1] % 16 == 0)
+
+    def test_single_shard_is_whole_matrix(self, medium_random):
+        part = partition_rows(medium_random, 1)
+        assert part.n_shards == 1
+        assert part.shards[0].matrix.shape == medium_random.shape
+        assert part.imbalance == 1.0
+
+
+class TestGridPartition:
+    def test_cells_cover_matrix(self, medium_random):
+        part = partition_grid(medium_random, (2, 3))
+        assert part.n_shards == 6
+        assert sum(s.nnz for s in part) == medium_random.nnz
+        for i in range(2):
+            assert part.col_bounds[i, 0] == 0
+            assert part.col_bounds[i, -1] == medium_random.ncols
+            assert np.all(np.diff(part.col_bounds[i]) >= 0)
+
+    def test_cell_contents_match_dense_slices(self, medium_random):
+        part = partition_grid(medium_random, "2x2")
+        dense = medium_random.to_dense()
+        for s in part:
+            np.testing.assert_array_equal(
+                s.matrix.to_dense(),
+                dense[s.row_start : s.row_stop, s.col_start : s.col_stop],
+            )
+
+    def test_per_panel_column_split_balances_banded(self):
+        # a block-band matrix concentrates nnz near the diagonal: a global
+        # column split would put everything in the diagonal cells, the
+        # per-row-panel split keeps cells balanced
+        A = block_band_matrix(768, block_size=8, block_bandwidth=3, rng=np.random.default_rng(0))
+        part = partition_grid(A, (2, 2))
+        assert part.imbalance <= 1.3
+
+    def test_2x2_acceptance_on_cant(self):
+        A = suitesparse.load("cant", scale=0.1)
+        part = partition_grid(A, "2x2")
+        assert part.imbalance <= 1.25
+
+    def test_empty_cells_allowed(self):
+        # a matrix with one dense row: extra panels come out empty
+        A = uniform_random(8, 64, density=0.5, rng=np.random.default_rng(1))
+        part = partition_rows(A, 6)
+        assert part.n_shards == 6
+        assert sum(s.nnz for s in part) == A.nnz
+
+
+class TestCostMode:
+    def test_cost_mode_balances_and_reconstructs(self):
+        A = suitesparse.load("cant", scale=0.05)
+        part = partition_rows(A, 4, mode="cost")
+        assert part.weight_unit == "s"
+        assert part.weight_imbalance <= 1.5
+        assert sum(s.nnz for s in part) == A.nnz
+
+    def test_cost_weights_in_seconds(self):
+        A = suitesparse.load("cant", scale=0.05)
+        part = partition_rows(A, 2, mode="cost")
+        # predicted per-shard cost must be positive and tiny (seconds)
+        for s in part:
+            assert 0.0 < s.weight < 1.0
+
+    def test_unknown_mode_rejected(self, medium_random):
+        with pytest.raises(ValueError, match="mode"):
+            make_partition(medium_random, 2, mode="banana")
+
+    def test_non_csr_rejected(self):
+        with pytest.raises(TypeError):
+            make_partition(np.eye(4), 2)
+
+
+class TestShardFingerprints:
+    def test_derived_fingerprints_are_distinct_and_stable(self, medium_random):
+        part = partition_grid(medium_random, (2, 2))
+        ensure_shard_fingerprints(part)
+        fps = [matrix_fingerprint(s.matrix) for s in part]
+        assert len(set(fps)) == len(fps)
+        parent = matrix_fingerprint(medium_random)
+        for s, fp in zip(part, fps):
+            assert fp == shard_fingerprint(parent, s)
+
+    def test_derived_equals_content_identity(self, medium_random):
+        # two partitions of the same matrix derive the same shard keys
+        p1 = partition_rows(medium_random, 3)
+        p2 = partition_rows(medium_random, 3)
+        ensure_shard_fingerprints(p1)
+        ensure_shard_fingerprints(p2)
+        for a, b in zip(p1, p2):
+            assert matrix_fingerprint(a.matrix) == matrix_fingerprint(b.matrix)
+
+    def test_different_bounds_different_fingerprint(self, medium_random):
+        p1 = partition_rows(medium_random, 2)
+        p2 = partition_grid(medium_random, (2, 2))
+        ensure_shard_fingerprints(p1)
+        ensure_shard_fingerprints(p2)
+        assert matrix_fingerprint(p1.shards[0].matrix) != matrix_fingerprint(p2.shards[0].matrix)
