@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""PageRank on the workloads layer.
+
+PageRank is the canonical "preprocess once, multiply many" workload: the
+column-stochastic transition matrix is fixed, and every power-iteration
+step is one SpMM against it.  ``repro.workloads.pagerank`` runs the
+damped iteration on the plan-caching engine, so the first iteration pays
+reordering + BCSR construction and every later one is a plan-cache hit.
+
+This example ranks a scale-free graph (hub-dominated, like web and
+circuit graphs), prints the convergence history with per-iteration SpMM
+time, and verifies the scores against a dense numpy power iteration.
+
+Run:  python examples/pagerank.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.formats import transition_matrix
+from repro.matrices import scale_free_graph
+from repro.workloads import pagerank
+
+N_NODES = 8192
+DAMPING = 0.85
+TOL = 1e-6  # within float32 SpMM reach, so the early exit triggers
+
+
+def dense_reference(adj, damping: float, tol: float, max_iter: int = 200) -> np.ndarray:
+    """The same damped power iteration in dense float64 numpy."""
+    n = adj.nrows
+    dangling = np.zeros(n, dtype=bool)
+    M = transition_matrix(adj, dangling=dangling).to_dense().astype(np.float64)
+    v = np.full(n, 1.0 / n)
+    x = v.copy()
+    for _ in range(max_iter):
+        x_new = damping * (M @ x + x[dangling].sum() * v) + (1.0 - damping) * v
+        x_new /= x_new.sum()
+        if np.abs(x_new - x).sum() < tol:
+            return x_new
+        x = x_new
+    return x
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    print(f"building a scale-free graph with {N_NODES} nodes ...")
+    adj = scale_free_graph(N_NODES, avg_degree=12.0, exponent=2.1, rng=rng)
+
+    result = pagerank(adj, damping=DAMPING, tol=TOL, max_iter=100)
+    report = result.report
+
+    rows = report.table()
+    if len(rows) > 12:  # keep the table readable
+        rows = rows[:6] + rows[-6:]
+    print(format_table(
+        rows,
+        title=(
+            f"PageRank convergence on {N_NODES} nodes: "
+            f"{report.iterations} iterations, converged={report.converged}"
+        ),
+    ))
+
+    reference = dense_reference(adj, DAMPING, TOL)
+    err = float(np.abs(result.scores - reference).max())
+    top = np.argsort(result.scores)[::-1][:5]
+    print(f"\ntop-5 nodes: {list(top)} (scores {result.scores[top].round(5)})")
+    print(
+        f"plan amortization: cold iteration {report.cold_ms:.2f} ms, "
+        f"warm median {report.warm_ms:.3f} ms -> "
+        f"{report.amortization_ratio:.1f}x "
+        f"(cache hits {report.cache_hits}, misses {report.cache_misses})"
+    )
+    print(f"max abs error vs dense numpy reference: {err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,7 +22,19 @@ Quick start
 (2048, 8)
 """
 
-from . import analysis, core, engine, formats, gpu, kernels, matrices, reorder, shard, tuner
+from . import (
+    analysis,
+    core,
+    engine,
+    formats,
+    gpu,
+    kernels,
+    matrices,
+    reorder,
+    shard,
+    tuner,
+    workloads,
+)
 from .core import (
     DEFAULT_LIBRARIES,
     ExecutionPlan,
@@ -38,6 +50,7 @@ from .engine import SpMMEngine
 from .formats import BCSRMatrix, COOMatrix, CSCMatrix, CSRMatrix, DenseMatrix, SRBCRSMatrix
 from .shard import ShardedSpMM
 from .tuner import Tuner, TuningCache, TuningResult
+from .workloads import WorkloadReport
 from .gpu import A100_SXM4_40GB, GPUArchitecture, Precision
 from .kernels import (
     CublasDenseKernel,
@@ -59,6 +72,7 @@ __all__ = [
     "Tuner",
     "TuningResult",
     "TuningCache",
+    "WorkloadReport",
     "ExecutionPlan",
     "PreprocessReport",
     "MultiplyReport",
@@ -90,5 +104,6 @@ __all__ = [
     "engine",
     "shard",
     "tuner",
+    "workloads",
     "analysis",
 ]

@@ -1,5 +1,8 @@
-"""Result analysis and reporting utilities used by the benchmarks."""
+"""Result analysis and reporting utilities used by the benchmarks,
+the CI perf-regression gate (:mod:`repro.analysis.regression`) and the
+executable-documentation checker (:mod:`repro.analysis.doccheck`)."""
 
+from .doccheck import check_file, extract_code_blocks, rescale_source
 from .export import measurements_to_rows, rows_to_csv, rows_to_json
 from .regression import MetricComparison, compare_metrics, extract_metrics
 from .report import format_speedup_summary, format_table, series_to_rows
@@ -13,6 +16,9 @@ from .stats import (
 )
 
 __all__ = [
+    "extract_code_blocks",
+    "rescale_source",
+    "check_file",
     "rows_to_csv",
     "rows_to_json",
     "measurements_to_rows",

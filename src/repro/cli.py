@@ -23,6 +23,10 @@ script:
   the matrix into a balanced shard grid, prepares one plan per shard, and
   prints the per-shard breakdown (nnz, imbalance, chosen config, time)
   plus the sharded-vs-single-plan comparison;
+* ``python -m repro workload --matrix cant --scale 0.1 --workload pagerank``
+  runs an iterative SpMM application (PageRank, power iteration, GCN
+  forward pass, Jacobi / Chebyshev smoother) on the engine and prints the
+  convergence table plus the plan-amortisation ratio;
 * ``python -m repro matrices`` lists the available Table-I stand-ins.
 """
 
@@ -68,6 +72,17 @@ def _grid_type(text: str) -> str:
     return text
 
 
+def _damping_type(text: str) -> float:
+    """Argparse type for ``--damping``: a float strictly inside (0, 1)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid damping value: {text!r}") from None
+    if not 0.0 < value < 1.0:
+        raise argparse.ArgumentTypeError(f"damping must be in (0, 1), got {value!r}")
+    return value
+
+
 def _positive_int(text: str) -> int:
     """Argparse type for counts that must be >= 1."""
     try:
@@ -80,6 +95,7 @@ def _positive_int(text: str) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser with every subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SMaT reproduction: simulated Tensor-Core SpMM experiments",
@@ -193,6 +209,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--tune",
         action="store_true",
         help="tune every shard individually (block shape x reordering per shard)",
+    )
+
+    p_work = sub.add_parser(
+        "workload", help="iterative SpMM application on the serving engine"
+    )
+    p_work.add_argument(
+        "--workload",
+        choices=("pagerank", "power", "gcn", "jacobi", "chebyshev"),
+        default="pagerank",
+        help="which iterative algorithm to run",
+    )
+    p_work.add_argument("--matrix", default="cant", help="Table-I matrix name")
+    p_work.add_argument("--scale", type=_scale_type, default=0.1, help="stand-in scale (0..1]")
+    p_work.add_argument(
+        "--iters", type=_positive_int, default=30, help="maximum iterations (or GCN layers)"
+    )
+    p_work.add_argument(
+        "--tol", type=float, default=1e-6, help="convergence tolerance (early exit)"
+    )
+    p_work.add_argument(
+        "--damping", type=_damping_type, default=0.85, help="PageRank damping factor in (0, 1)"
+    )
+    p_work.add_argument(
+        "--n", type=_positive_int, default=16, help="GCN feature width / smoother RHS count"
+    )
+    p_work.add_argument(
+        "--workers", type=_positive_int, default=4, help="engine worker threads"
+    )
+    p_work.add_argument(
+        "--tune",
+        action="store_true",
+        help="build the workload's plan(s) through the auto-tuner",
+    )
+    p_work.add_argument(
+        "--sharded",
+        action="store_true",
+        help="run every SpMM through the sharded subsystem",
+    )
+    p_work.add_argument(
+        "--grid",
+        type=_grid_type,
+        default="4",
+        help="shard grid when --sharded: row panels 'R' or 2D grid 'RxC'",
+    )
+    p_work.add_argument(
+        "--mode",
+        choices=("nnz", "cost"),
+        default="nnz",
+        help="shard balancing mode when --sharded",
     )
 
     sub.add_parser("matrices", help="list the Table-I stand-ins")
@@ -401,6 +466,104 @@ def _cmd_shard(args) -> int:
     return 0
 
 
+def _sample_rows(rows: List[dict], limit: int = 12) -> List[dict]:
+    """At most ``limit`` evenly spaced rows (first and last always kept),
+    so long convergence tables stay readable."""
+    if len(rows) <= limit:
+        return rows
+    idx = np.unique(np.linspace(0, len(rows) - 1, limit).round().astype(int))
+    return [rows[i] for i in idx]
+
+
+def _spd_system(A):
+    """A symmetric diagonally dominant system built from a stand-in.
+
+    The Table-I stand-ins are generic sparse matrices; smoothers need an
+    SPD-like, zero-free-diagonal operator, so the CLI runs them on
+    ``|A| + |A|^T + c I`` (the standard graph-Laplacian-style surrogate
+    with the same sparsity structure).
+    """
+    from .formats import COOMatrix, degree_vector
+
+    coo = A.to_coo()
+    rows = np.concatenate([coo.row, coo.col])
+    cols = np.concatenate([coo.col, coo.row])
+    vals = np.abs(np.concatenate([coo.val, coo.val]))
+    sym = COOMatrix(rows, cols, vals, (A.nrows, A.ncols)).to_csr()
+    shift = float(degree_vector(sym).max())
+    eye = np.arange(A.nrows, dtype=np.int64)
+    scoo = sym.to_coo()
+    return COOMatrix(
+        np.concatenate([scoo.row, eye]),
+        np.concatenate([scoo.col, eye]),
+        np.concatenate([scoo.val, np.full(A.nrows, shift, dtype=scoo.val.dtype)]),
+        (A.nrows, A.ncols),
+    ).to_csr()
+
+
+def _cmd_workload(args) -> int:
+    from . import workloads
+
+    A = suitesparse.load(args.matrix, scale=args.scale)
+    rng = np.random.default_rng(0)
+    passthrough = dict(
+        tune=args.tune,
+        sharded=args.sharded,
+        grid=args.grid,
+        mode=args.mode,
+        max_workers=args.workers,
+    )
+
+    if args.workload == "pagerank":
+        result = workloads.pagerank(
+            A, damping=args.damping, tol=args.tol, max_iter=args.iters, **passthrough
+        )
+        report = result.report
+    elif args.workload == "power":
+        result = workloads.power_iteration(A, tol=args.tol, max_iter=args.iters, **passthrough)
+        report = result.report
+        print(f"dominant eigenvalue estimate: {result.eigenvalue:.6g}")
+    elif args.workload == "gcn":
+        H = rng.normal(size=(A.nrows, args.n)).astype(np.float32)
+        weights = [
+            rng.normal(scale=0.3, size=(args.n, args.n)).astype(np.float32)
+            for _ in range(args.iters)
+        ]
+        result = workloads.gcn_forward(A, H, weights, **passthrough)
+        report = result.report
+    else:  # jacobi / chebyshev
+        S = _spd_system(A)
+        b = rng.normal(size=(A.nrows, args.n)).astype(np.float32)
+        smoother = (
+            workloads.jacobi_smoother
+            if args.workload == "jacobi"
+            else workloads.chebyshev_smoother
+        )
+        result = smoother(S, b, tol=args.tol, max_iter=args.iters, **passthrough)
+        report = result.report
+
+    title = (
+        f"{report.workload} on {args.matrix} (scale={args.scale}): "
+        f"{report.iterations} iterations"
+        + (", sharded" if report.sharded else "")
+        + (", tuned" if report.tuned else "")
+    )
+    print(format_table(_sample_rows(report.table()), title=title))
+    print(
+        f"converged: {report.converged} (tol={report.tol:g}), "
+        f"final residual {report.final_residual:.3e}"
+    )
+    print(
+        f"SpMM time: {report.total_spmm_ms:.2f} ms total, cold first iteration "
+        f"{report.cold_ms:.2f} ms, warm median {report.warm_ms:.3f} ms"
+    )
+    print(
+        f"plan amortization ratio (cold/warm): {report.amortization_ratio:.1f}x "
+        f"(cache hits {report.cache_hits}, misses {report.cache_misses})"
+    )
+    return 0
+
+
 def _cmd_matrices(_args) -> int:
     rows = [
         {
@@ -426,6 +589,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "engine": _cmd_engine,
         "tune": _cmd_tune,
         "shard": _cmd_shard,
+        "workload": _cmd_workload,
         "matrices": _cmd_matrices,
     }
     return handlers[args.command](args)

@@ -36,6 +36,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total cache lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property

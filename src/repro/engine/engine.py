@@ -87,6 +87,7 @@ class BatchSummary:
 
     @property
     def items_per_second(self) -> float:
+        """Batch items completed per wall-clock second."""
         return 1e3 * self.n_items / self.wall_ms if self.wall_ms > 0 else 0.0
 
     @property

@@ -10,8 +10,10 @@ paper and its baselines:
 * :class:`~repro.formats.srbcrs.SRBCRSMatrix` -- Magicube's strided format,
 * :class:`~repro.formats.dense.DenseMatrix` -- the cuBLAS baseline's view.
 
-Use :func:`~repro.formats.conversions.convert` for generic conversions and
-:mod:`repro.formats.io` for Matrix Market I/O.
+Use :func:`~repro.formats.conversions.convert` for generic conversions,
+:mod:`repro.formats.io` for Matrix Market I/O, and
+:mod:`repro.formats.graphops` for derived graph operators (normalised
+adjacency, transition matrix) consumed by the iterative workloads.
 """
 
 from .base import DEFAULT_VALUE_DTYPE, SparseFormat, index_dtype_for
@@ -21,6 +23,13 @@ from .coo import COOMatrix
 from .csc import CSCMatrix
 from .csr import CSRMatrix
 from .dense import DenseMatrix
+from .graphops import (
+    add_self_loops,
+    degree_vector,
+    extract_diagonal,
+    gcn_normalize,
+    transition_matrix,
+)
 from .io import read_matrix_market, write_matrix_market
 from .srbcrs import SRBCRSMatrix
 
@@ -39,4 +48,9 @@ __all__ = [
     "FORMAT_REGISTRY",
     "read_matrix_market",
     "write_matrix_market",
+    "degree_vector",
+    "extract_diagonal",
+    "add_self_loops",
+    "gcn_normalize",
+    "transition_matrix",
 ]

@@ -1,0 +1,127 @@
+"""Graph-operator constructions on sparse matrices.
+
+Iterative graph workloads (PageRank, GCN forward passes, smoothers) do
+not multiply by the raw adjacency matrix but by a *derived operator*:
+the column-stochastic transition matrix, the symmetrically normalised
+adjacency :math:`\\hat{A} = D^{-1/2} (A + I) D^{-1/2}`, or the matrix
+with its diagonal split out.  This module builds those operators once,
+in the formats layer, so every consumer (workloads, examples, tests)
+shares one vectorised, duplicate-safe implementation instead of
+re-deriving it from COO triples ad hoc.
+
+All helpers treat the input as an edge-weight matrix: degrees are sums
+of *absolute* values by default, so matrices with signed stand-in values
+(the synthetic SuiteSparse generators) still yield valid stochastic /
+normalised operators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = [
+    "degree_vector",
+    "extract_diagonal",
+    "add_self_loops",
+    "gcn_normalize",
+    "transition_matrix",
+]
+
+
+def degree_vector(A: CSRMatrix, *, absolute: bool = True, axis: int = 1) -> np.ndarray:
+    """Weighted degree of every node of the graph with adjacency ``A``.
+
+    ``axis=1`` (default) sums over columns -- the out-degree of each row
+    node; ``axis=0`` sums over rows -- the in-degree of each column node.
+    With ``absolute`` (default) weights enter by magnitude, so signed
+    matrices still produce non-negative degrees.
+    """
+    if axis not in (0, 1):
+        raise ValueError(f"axis must be 0 or 1, got {axis!r}")
+    coo = A.to_coo()
+    val = np.abs(coo.val) if absolute else coo.val
+    idx = coo.row if axis == 1 else coo.col
+    n = A.nrows if axis == 1 else A.ncols
+    return np.bincount(idx, weights=val.astype(np.float64), minlength=n)
+
+
+def extract_diagonal(A: CSRMatrix) -> np.ndarray:
+    """The main diagonal of ``A`` as a dense vector (zeros where the
+    diagonal entry is not stored)."""
+    coo = A.to_coo()
+    n = min(A.nrows, A.ncols)
+    diag = np.zeros(n, dtype=A.val.dtype)
+    mask = coo.row == coo.col
+    diag[coo.row[mask]] = coo.val[mask]
+    return diag
+
+
+def add_self_loops(A: CSRMatrix, value: float = 1.0) -> CSRMatrix:
+    """Return ``A + value * I`` (existing diagonal entries are summed
+    with ``value``, as in the GCN renormalisation trick)."""
+    if A.nrows != A.ncols:
+        raise ValueError(f"self-loops need a square matrix, got shape {A.shape}")
+    coo = A.to_coo()
+    n = A.nrows
+    eye = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([coo.row, eye])
+    cols = np.concatenate([coo.col, eye])
+    vals = np.concatenate([coo.val, np.full(n, value, dtype=coo.val.dtype)])
+    return COOMatrix(rows, cols, vals, (n, n)).to_csr()
+
+
+def gcn_normalize(
+    A: CSRMatrix,
+    *,
+    self_loops: bool = True,
+    dtype=np.float32,
+) -> CSRMatrix:
+    """Symmetric GCN normalisation ``D^-1/2 (A + I) D^-1/2`` (Kipf & Welling).
+
+    ``D`` is the diagonal degree matrix of ``A + I`` (absolute-value
+    degrees, so signed adjacency weights stay well-defined); isolated
+    nodes keep a unit self-loop instead of dividing by zero.  Set
+    ``self_loops=False`` to normalise the raw adjacency.
+    """
+    a_hat = add_self_loops(A) if self_loops else A
+    if a_hat.nrows != a_hat.ncols:
+        raise ValueError(f"gcn_normalize needs a square matrix, got shape {A.shape}")
+    degree = degree_vector(a_hat)
+    d_inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+    coo = a_hat.to_coo()
+    vals = (coo.val * d_inv_sqrt[coo.row] * d_inv_sqrt[coo.col]).astype(dtype)
+    return COOMatrix(coo.row, coo.col, vals, a_hat.shape).to_csr()
+
+
+def transition_matrix(
+    A: CSRMatrix,
+    *,
+    dtype=np.float32,
+    dangling: Optional[np.ndarray] = None,
+) -> CSRMatrix:
+    """Column-stochastic transition matrix ``M = |A|^T D_out^-1``.
+
+    Each column ``j`` of ``M`` distributes node ``j``'s unit of
+    probability mass over its out-neighbours proportionally to the
+    absolute edge weights, so PageRank is the fixed point of
+    ``x = d M x + (1 - d) v``.  Columns of dangling nodes (zero
+    out-degree) stay all-zero; their mass is redistributed by the
+    PageRank iteration itself.  Pass a boolean ``dangling`` output array
+    of length ``n`` to receive the dangling-node mask.
+    """
+    if A.nrows != A.ncols:
+        raise ValueError(f"transition matrix needs a square adjacency, got shape {A.shape}")
+    out_degree = degree_vector(A, absolute=True, axis=1)
+    is_dangling = out_degree <= 0.0
+    if dangling is not None:
+        dangling[:] = is_dangling
+    coo = A.to_coo()
+    safe_degree = np.where(is_dangling, 1.0, out_degree)
+    vals = (np.abs(coo.val) / safe_degree[coo.row]).astype(dtype)
+    # M[j, i] = |A[i, j]| / deg(i): transpose by swapping coordinates
+    return COOMatrix(coo.col, coo.row, vals, (A.ncols, A.nrows)).to_csr()

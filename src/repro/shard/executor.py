@@ -73,14 +73,17 @@ class ShardedReport:
 
     @property
     def n_shards(self) -> int:
+        """Number of shards that were executed."""
         return len(self.shards)
 
     @property
     def nnz(self) -> int:
+        """Total non-zeros across all shards."""
         return sum(s.nnz for s in self.shards)
 
     @property
     def cache_hits(self) -> int:
+        """Shards whose plan came from the cache (no rebuild)."""
         return sum(1 for s in self.shards if s.cache_hit)
 
     def table(self) -> List[dict]:
@@ -155,6 +158,7 @@ def execute_partition(
     ideal_nnz = A.nnz / len(partition.shards) if partition.shards else 0.0
 
     def run_one(entry: ShardPlanEntry) -> ShardReport:
+        """Execute one shard and gather its panel into ``C``."""
         shard = entry.shard
         if entry.plan is None:  # empty shard: contributes nothing
             return _shard_report(entry, ideal_nnz, 0.0, 0.0, 0)

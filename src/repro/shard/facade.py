@@ -134,16 +134,19 @@ class ShardedSpMM:
 
     @property
     def partition(self) -> Partition:
+        """The prepared shard partition of ``A``."""
         assert self._partition is not None
         return self._partition
 
     @property
     def entries(self) -> List[ShardPlanEntry]:
+        """One prepared plan entry per shard."""
         assert self._entries is not None
         return self._entries
 
     @property
     def n_shards(self) -> int:
+        """Number of shards in the grid."""
         return self.partition.n_shards
 
     @property

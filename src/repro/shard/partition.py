@@ -106,14 +106,17 @@ class Shard:
 
     @property
     def nnz(self) -> int:
+        """Non-zeros stored in this shard's submatrix."""
         return self.matrix.nnz
 
     @property
     def nrows(self) -> int:
+        """Rows covered by this shard's panel."""
         return self.row_stop - self.row_start
 
     @property
     def ncols(self) -> int:
+        """Columns covered by this shard's panel."""
         return self.col_stop - self.col_start
 
     @property
@@ -123,6 +126,7 @@ class Shard:
 
     @property
     def bounds(self) -> Tuple[int, int, int, int]:
+        """Panel bounds ``(row_start, row_stop, col_start, col_stop)``."""
         return (self.row_start, self.row_stop, self.col_start, self.col_stop)
 
 
@@ -147,10 +151,12 @@ class Partition:
 
     @property
     def n_shards(self) -> int:
+        """Number of shards in the partition grid."""
         return len(self.shards)
 
     @property
     def nnz(self) -> int:
+        """Non-zeros of the partitioned parent matrix."""
         return self.A.nnz
 
     @property

@@ -143,6 +143,7 @@ class TuningCache:
 
     @property
     def stats(self) -> TuningCacheStats:
+        """Snapshot of the cache's hit/miss/store counters."""
         with self._lock:
             return TuningCacheStats(
                 hits=self._hits,

@@ -70,10 +70,12 @@ class CandidateEstimate:
 
     @property
     def optimistic_ms(self) -> float:
+        """Predicted time at the Eq. 2 lower block-count bound (ms)."""
         return 1e3 * self.optimistic_s
 
     @property
     def guaranteed_ms(self) -> float:
+        """Predicted time at the unreordered block count (ms)."""
         return 1e3 * self.guaranteed_s
 
 

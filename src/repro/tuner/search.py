@@ -115,10 +115,12 @@ class TuningResult:
 
     @property
     def n_measured(self) -> int:
+        """Candidates given a real timed run."""
         return sum(1 for o in self.outcomes if o.measured)
 
     @property
     def n_pruned(self) -> int:
+        """Candidates rejected by the analytical model without a run."""
         return sum(1 for o in self.outcomes if o.pruned)
 
     def table(self) -> List[dict]:

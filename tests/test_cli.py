@@ -49,6 +49,24 @@ class TestParser:
         assert args.grid == "2x2"
         assert args.mode == "cost"
 
+    def test_workload_defaults(self):
+        args = build_parser().parse_args(["workload"])
+        assert args.workload == "pagerank"
+        assert args.matrix == "cant"
+        assert args.iters == 30
+        assert args.tol == 1e-6
+        assert args.sharded is False
+        assert args.tune is False
+
+    def test_workload_arguments(self):
+        args = build_parser().parse_args(
+            ["workload", "--workload", "gcn", "--sharded", "--grid", "2x2", "--iters", "4"]
+        )
+        assert args.workload == "gcn"
+        assert args.sharded is True
+        assert args.grid == "2x2"
+        assert args.iters == 4
+
 
 class TestArgumentValidation:
     """Bad arguments exit with argparse's code 2 and a clean message,
@@ -78,6 +96,14 @@ class TestArgumentValidation:
             ["shard", "--grid", "2x2x2"],
             ["shard", "--n", "0"],
             ["shard", "--mode", "banana"],
+            ["workload", "--workload", "banana"],
+            ["workload", "--damping", "1.5"],
+            ["workload", "--damping", "0"],
+            ["workload", "--damping", "nope"],
+            ["workload", "--scale", "0"],
+            ["workload", "--iters", "0"],
+            ["workload", "--grid", "0x1"],
+            ["workload", "--workers", "0"],
         ],
     )
     def test_bad_arguments_exit_code_2(self, argv, capsys):
@@ -191,6 +217,48 @@ class TestCommands:
         ])
         assert code == 0
         assert "mode=cost" in capsys.readouterr().out
+
+    def test_workload_pagerank_prints_convergence_and_amortization(self, capsys):
+        code = main([
+            "workload", "--matrix", "cant", "--scale", "0.1",
+            "--workload", "pagerank", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pagerank on cant" in out
+        assert "residual" in out and "spmm_ms" in out
+        assert "converged:" in out
+        # acceptance criterion: the plan-amortization ratio is > 1
+        ratio = float(
+            out.split("plan amortization ratio (cold/warm):", 1)[1].strip().split("x")[0]
+        )
+        assert ratio > 1.0
+
+    def test_workload_gcn_sharded(self, capsys):
+        code = main([
+            "workload", "--matrix", "dc2", "--scale", "0.03", "--workload", "gcn",
+            "--iters", "3", "--n", "4", "--sharded", "--grid", "2", "--workers", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gcn on dc2" in out and "sharded" in out
+
+    def test_workload_power_prints_eigenvalue(self, capsys):
+        code = main([
+            "workload", "--matrix", "dc2", "--scale", "0.03",
+            "--workload", "power", "--iters", "5", "--workers", "1",
+        ])
+        assert code == 0
+        assert "dominant eigenvalue estimate:" in capsys.readouterr().out
+
+    def test_workload_smoothers_run_on_spd_surrogate(self, capsys):
+        for name in ("jacobi", "chebyshev"):
+            code = main([
+                "workload", "--matrix", "dc2", "--scale", "0.03",
+                "--workload", name, "--iters", "5", "--n", "2", "--workers", "1",
+            ])
+            assert code == 0
+            assert f"{name} on dc2" in capsys.readouterr().out
 
     def test_engine_command_tuned(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TUNING_CACHE", str(tmp_path / "t.json"))

@@ -27,6 +27,7 @@ class TestExampleFiles:
         expected = {
             "quickstart.py",
             "gnn_spmm.py",
+            "pagerank.py",
             "band_sweep.py",
             "reordering_study.py",
             "tuning_study.py",
@@ -39,6 +40,7 @@ class TestExampleFiles:
         [
             "quickstart",
             "gnn_spmm",
+            "pagerank",
             "band_sweep",
             "reordering_study",
             "tuning_study",
@@ -64,27 +66,36 @@ class TestShardedExampleHelpers:
 
 
 class TestGNNHelpers:
-    def test_gcn_normalise_rows_sum_behaviour(self, rng):
+    def test_dense_reference_matches_workload(self, rng):
         gnn = _load_example("gnn_spmm")
         from repro.matrices import scale_free_graph
+        from repro.workloads import gcn_forward
 
         adj = scale_free_graph(256, avg_degree=6.0, rng=rng)
-        a_hat = gnn.gcn_normalise(adj)
-        assert a_hat.shape == adj.shape
-        # self-loops added: every diagonal entry is non-zero
-        assert np.all(np.abs(np.diag(a_hat.to_dense())) > 0)
-        # symmetric normalisation keeps values bounded by 1
-        assert float(np.abs(a_hat.val).max()) <= 1.0 + 1e-6
+        H = rng.normal(size=(256, 8)).astype(np.float32)
+        weights = [rng.normal(scale=0.2, size=(8, 8)).astype(np.float32) for _ in range(2)]
+        ref = gnn.dense_reference(adj, H, weights)
+        out = gcn_forward(adj, H, weights)
+        np.testing.assert_allclose(out.H, ref, rtol=1e-4, atol=1e-4)
 
-    def test_propagate_matches_reference(self, rng):
-        gnn = _load_example("gnn_spmm")
-        from repro.matrices import uniform_random
 
-        A = uniform_random(128, 128, density=0.05, rng=rng)
-        H = rng.normal(size=(128, 16)).astype(np.float32)
-        weights = [rng.normal(scale=0.2, size=(16, 16)).astype(np.float32) for _ in range(2)]
-        out = gnn.propagate(lambda X: A.spmm(X), H, weights)
-        ref = H
-        for W in weights:
-            ref = np.maximum(A.spmm(ref @ W), 0.0)
-        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-5)
+class TestPageRankExampleHelpers:
+    def test_dense_reference_is_a_distribution(self, rng):
+        pr = _load_example("pagerank")
+        from repro.matrices import scale_free_graph
+
+        adj = scale_free_graph(128, avg_degree=6.0, rng=rng)
+        scores = pr.dense_reference(adj, 0.85, 1e-10)
+        assert scores.shape == (128,)
+        assert np.all(scores > 0)
+        np.testing.assert_allclose(scores.sum(), 1.0, rtol=1e-12)
+
+    def test_dense_reference_matches_workload(self, rng):
+        pr = _load_example("pagerank")
+        from repro.matrices import scale_free_graph
+        from repro.workloads import pagerank
+
+        adj = scale_free_graph(128, avg_degree=6.0, rng=rng)
+        ref = pr.dense_reference(adj, 0.85, 1e-10)
+        out = pagerank(adj, damping=0.85, tol=1e-10, max_iter=200)
+        np.testing.assert_allclose(out.scores, ref, rtol=1e-4, atol=1e-7)

@@ -1,0 +1,104 @@
+"""Graph-operator constructions in the formats layer."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    CSRMatrix,
+    add_self_loops,
+    degree_vector,
+    extract_diagonal,
+    gcn_normalize,
+    transition_matrix,
+)
+from repro.matrices import band_matrix, scale_free_graph, uniform_random
+
+
+class TestDegreeAndDiagonal:
+    def test_degree_matches_dense_row_sums(self, rng):
+        A = uniform_random(64, 48, density=0.1, rng=rng)
+        dense = np.abs(A.to_dense().astype(np.float64))
+        np.testing.assert_allclose(degree_vector(A), dense.sum(axis=1), rtol=1e-6)
+        np.testing.assert_allclose(degree_vector(A, axis=0), dense.sum(axis=0), rtol=1e-6)
+
+    def test_signed_degree(self, rng):
+        A = uniform_random(32, 32, density=0.2, rng=rng)
+        dense = A.to_dense().astype(np.float64)
+        np.testing.assert_allclose(
+            degree_vector(A, absolute=False), dense.sum(axis=1), rtol=1e-5, atol=1e-6
+        )
+
+    def test_degree_rejects_bad_axis(self, rng):
+        with pytest.raises(ValueError, match="axis"):
+            degree_vector(uniform_random(8, 8, density=0.5, rng=rng), axis=2)
+
+    def test_extract_diagonal(self, rng):
+        A = uniform_random(40, 40, density=0.15, rng=rng)
+        np.testing.assert_allclose(extract_diagonal(A), np.diag(A.to_dense()))
+
+
+class TestSelfLoops:
+    def test_adds_missing_diagonal(self, rng):
+        A = scale_free_graph(64, avg_degree=4.0, rng=rng)  # no self-edges
+        loops = add_self_loops(A, value=2.5)
+        dense = loops.to_dense()
+        np.testing.assert_allclose(np.diag(dense), 2.5)
+        np.testing.assert_allclose(
+            dense - np.diag(np.diag(dense)), A.to_dense(), rtol=1e-6
+        )
+
+    def test_sums_with_existing_diagonal(self):
+        A = CSRMatrix.from_dense(np.diag([1.0, 2.0, 3.0]).astype(np.float32))
+        loops = add_self_loops(A, value=1.0)
+        np.testing.assert_allclose(np.diag(loops.to_dense()), [2.0, 3.0, 4.0])
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            add_self_loops(uniform_random(8, 4, density=0.5, rng=rng))
+
+
+class TestGCNNormalize:
+    def test_matches_dense_formula(self, rng):
+        A = scale_free_graph(96, avg_degree=6.0, rng=rng)
+        a_hat = gcn_normalize(A)
+        dense = A.to_dense().astype(np.float64) + np.eye(96)
+        degree = np.abs(dense).sum(axis=1)
+        d_inv_sqrt = np.diag(1.0 / np.sqrt(degree))
+        np.testing.assert_allclose(
+            a_hat.to_dense(), d_inv_sqrt @ dense @ d_inv_sqrt, rtol=1e-4, atol=1e-6
+        )
+
+    def test_every_diagonal_entry_nonzero(self, rng):
+        A = scale_free_graph(64, avg_degree=4.0, rng=rng)
+        assert np.all(np.abs(np.diag(gcn_normalize(A).to_dense())) > 0)
+
+    def test_no_self_loops_variant(self, rng):
+        A = band_matrix(32, 4, rng=rng)
+        a_hat = gcn_normalize(A, self_loops=False)
+        assert a_hat.nnz == A.nnz
+
+
+class TestTransitionMatrix:
+    def test_columns_are_stochastic(self, rng):
+        A = scale_free_graph(128, avg_degree=6.0, rng=rng)
+        M = transition_matrix(A)
+        col_sums = M.to_dense().astype(np.float64).sum(axis=0)
+        out_degree = degree_vector(A)
+        np.testing.assert_allclose(col_sums[out_degree > 0], 1.0, rtol=1e-5)
+
+    def test_dangling_mask_and_zero_columns(self):
+        dense = np.array([[0.0, 1.0], [0.0, 0.0]], dtype=np.float32)
+        A = CSRMatrix.from_dense(dense)
+        dangling = np.zeros(2, dtype=bool)
+        M = transition_matrix(A, dangling=dangling)
+        assert list(dangling) == [False, True]  # row 1 has no out-edges
+        np.testing.assert_allclose(M.to_dense().sum(axis=0), [1.0, 0.0])
+
+    def test_signed_weights_enter_by_magnitude(self, rng):
+        A = uniform_random(32, 32, density=0.2, rng=rng)  # signed values
+        M = transition_matrix(A)
+        assert np.all(M.val >= 0)
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ValueError, match="square"):
+            transition_matrix(uniform_random(8, 4, density=0.5, rng=rng))
