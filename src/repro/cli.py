@@ -27,7 +27,9 @@ script:
   runs an iterative SpMM application (PageRank, power iteration, GCN
   forward pass, Jacobi / Chebyshev smoother) on the engine and prints the
   convergence table plus the plan-amortisation ratio;
-* ``python -m repro matrices`` lists the available Table-I stand-ins.
+* ``python -m repro matrices`` lists the available Table-I stand-ins;
+* ``python -m repro kernels`` lists the execution backends (name, internal
+  format, cost-model summary) selectable via ``kernel=`` / ``--kernel``.
 """
 
 from __future__ import annotations
@@ -111,9 +113,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument(
         "--libraries",
         default="smat,dasp,magicube,cusparse",
-        help="comma-separated library list",
+        help="comma-separated library list ('auto' adds the tuned-backend row)",
     )
     p_compare.add_argument("--reorder", default="jaccard", help="SMaT preprocessing algorithm")
+    p_compare.add_argument(
+        "--engine",
+        action="store_true",
+        help="route every library through a shared plan-caching SpMMEngine and "
+        "report the cold vs warm (cached-plan) wall-clock per library",
+    )
+    p_compare.add_argument(
+        "--tune",
+        action="store_true",
+        help="tune plans through the auto-tuner and add the 'auto' backend row "
+        "(implies --engine)",
+    )
 
     p_band = sub.add_parser("band", help="band-matrix sweep against cuBLAS (Figure 9)")
     p_band.add_argument("--size", type=_positive_int, default=4096, help="matrix dimension")
@@ -166,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--reorderers",
         default=None,
         help="comma-separated algorithm list (default: the Section IV-C ablation set)",
+    )
+    p_tune.add_argument(
+        "--kernel",
+        choices=("smat", "cusparse", "dasp", "magicube", "cublas", "auto"),
+        default="smat",
+        help="backend to tune for: a library name, or 'auto' to grow the search "
+        "space with a backend axis (the per-matrix library winner)",
     )
     p_tune.add_argument(
         "--repeats", type=_positive_int, default=1, help="timed runs per measured candidate"
@@ -238,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=_positive_int, default=4, help="engine worker threads"
     )
     p_work.add_argument(
+        "--kernel",
+        choices=("smat", "cusparse", "dasp", "magicube", "cublas", "auto"),
+        default="smat",
+        help="execution backend for every SpMM ('auto' = per-matrix tuner choice)",
+    )
+    p_work.add_argument(
         "--tune",
         action="store_true",
         help="build the workload's plan(s) through the auto-tuner",
@@ -261,6 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("matrices", help="list the Table-I stand-ins")
+    sub.add_parser(
+        "kernels", help="list the execution backends (name, format, cost model)"
+    )
     return parser
 
 
@@ -269,23 +299,50 @@ def _cmd_compare(args) -> int:
     rng = np.random.default_rng(0)
     B = rng.normal(size=(A.ncols, args.n)).astype(np.float32)
     libraries = [x.strip() for x in args.libraries.split(",") if x.strip()]
-    results = compare_libraries(
-        A, B, libraries=libraries, config=SMaTConfig(reorder=args.reorder)
-    )
-    rows = [
-        {
+    config = SMaTConfig(reorder=args.reorder)
+    use_engine = args.engine or args.tune
+    if args.tune and "auto" not in [x.lower() for x in libraries]:
+        libraries.append("auto")
+
+    if not use_engine:
+        results = compare_libraries(A, B, libraries=libraries, config=config)
+        warm = None
+    else:
+        with SpMMEngine(
+            config, cache_size=2 * len(libraries) + 2, max_workers=1, tune=args.tune
+        ) as engine:
+            results = compare_libraries(A, B, libraries=libraries, config=config, engine=engine)
+            # second pass: every library's plan now comes from the cache
+            warm = compare_libraries(
+                A, B, libraries=libraries, config=config, engine=engine,
+                check_correctness=False,
+            )
+
+    rows = []
+    for i, r in enumerate(results):
+        row = {
             "library": r.library,
+            "backend": r.meta.get("backend", "-"),
             "GFLOP/s": r.gflops,
             "time_ms": r.time_ms,
             "supported": r.supported,
             "correct": r.correct,
         }
-        for r in results
-    ]
+        if warm is not None:
+            row["cold_wall_ms"] = r.meta.get("wall_ms", float("nan"))
+            row["warm_wall_ms"] = warm[i].meta.get("wall_ms", float("nan"))
+        rows.append(row)
     print(format_table(
         rows,
-        title=f"{args.matrix} stand-in (scale={args.scale}), N={args.n}, simulated A100",
+        title=f"{args.matrix} stand-in (scale={args.scale}), N={args.n}, simulated A100"
+        + (", engine-cached" if use_engine else ""),
     ))
+    if warm is not None:
+        hits = sum(1 for r in warm if r.meta.get("cache_hit"))
+        print(
+            f"warm pass: {hits}/{len(warm)} libraries served from the plan cache "
+            "(cold pays each backend's preprocessing once)"
+        )
     return 0
 
 
@@ -397,7 +454,7 @@ def _cmd_tune(args) -> int:
         tuner_kwargs["reorderers"] = reorderers
     tuner = Tuner(cache=False if args.no_cache else args.cache, **tuner_kwargs)
 
-    config = SMaTConfig()
+    config = SMaTConfig(kernel=args.kernel)
     result = tuner.tune(A, config, store=True)
     print(format_table(
         result.table(),
@@ -507,6 +564,7 @@ def _cmd_workload(args) -> int:
     A = suitesparse.load(args.matrix, scale=args.scale)
     rng = np.random.default_rng(0)
     passthrough = dict(
+        kernel=args.kernel,
         tune=args.tune,
         sharded=args.sharded,
         grid=args.grid,
@@ -564,6 +622,16 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _cmd_kernels(_args) -> int:
+    from .kernels import kernel_info
+
+    print(format_table(
+        kernel_info(),
+        title="execution backends (select with SMaTConfig(kernel=...) or kernel='auto')",
+    ))
+    return 0
+
+
 def _cmd_matrices(_args) -> int:
     rows = [
         {
@@ -591,6 +659,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "shard": _cmd_shard,
         "workload": _cmd_workload,
         "matrices": _cmd_matrices,
+        "kernels": _cmd_kernels,
     }
     return handlers[args.command](args)
 

@@ -16,6 +16,14 @@ class SMaTConfig:
 
     Parameters
     ----------
+    kernel:
+        Execution backend: ``"smat"`` (the paper's BCSR Tensor-Core
+        kernel, default) or one of the baseline libraries the paper
+        compares against -- ``"cusparse"``, ``"dasp"``, ``"magicube"``,
+        ``"cublas"``.  ``"auto"`` delegates the choice to the per-matrix
+        auto-tuner (:mod:`repro.tuner`), which prices every backend with
+        its own cost model and measures the survivors -- the per-matrix
+        library winner of Figures 8-10, discovered automatically.
     precision:
         Numeric precision of the Tensor-Core path (``"fp16"`` default, as
         in the paper's evaluation).
@@ -46,6 +54,7 @@ class SMaTConfig:
         Simulated GPU architecture.
     """
 
+    kernel: str = "smat"
     precision: str = "fp16"
     block_shape: Optional[Tuple[int, int]] = None
     reorder: str = "jaccard"
@@ -66,11 +75,27 @@ class SMaTConfig:
             return (h, w)
         return self.resolved_precision().block_shape
 
+    def resolved_kernel(self) -> str:
+        """The backend name, lowercased (``"auto"`` until the tuner
+        resolves it to a concrete library)."""
+        if not isinstance(self.kernel, str) or not self.kernel:
+            raise ValueError("kernel must be a non-empty backend name")
+        key = self.kernel.lower()
+        from ..kernels import KERNEL_REGISTRY
+
+        if key != "auto" and key not in KERNEL_REGISTRY:
+            raise ValueError(
+                f"unknown kernel backend {self.kernel!r}; "
+                f"available: {sorted(KERNEL_REGISTRY)} or 'auto'"
+            )
+        return key
+
     def validate(self) -> "SMaTConfig":
         """Validate the configuration (raises on inconsistency) and return
         self for chaining."""
         self.resolved_precision()
         self.resolved_block_shape()
+        self.resolved_kernel()
         if not isinstance(self.reorder, str) or not self.reorder:
             raise ValueError("reorder must be a non-empty algorithm name")
         return self

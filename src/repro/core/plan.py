@@ -20,14 +20,20 @@ engine's batched thread-pool path relies on this).
 
 from __future__ import annotations
 
-import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..formats import BCSRMatrix, CSRMatrix
-from ..kernels import KernelResult, SMaTKernel
+from ..formats.csr import matrix_fingerprint
+from ..kernels import (
+    KERNEL_REGISTRY,
+    KernelResult,
+    KernelUnsupportedError,
+    SpMMKernel,
+    get_kernel,
+)
 from ..reorder import ReorderResult, get_reorderer
 from ..reorder.base import identity_permutation
 from .config import SMaTConfig
@@ -36,6 +42,7 @@ __all__ = [
     "ExecutionPlan",
     "PreprocessReport",
     "MultiplyReport",
+    "build_with_fallback",
     "matrix_fingerprint",
     "config_signature",
     "plan_key",
@@ -54,6 +61,13 @@ class PreprocessReport:
     std_after: float
     n_block_rows: int
     block_shape: Tuple[int, int]
+    #: execution backend the plan was built for (registry key)
+    backend: str = "smat"
+    #: backend originally requested when the build fell back to SMaT
+    #: because the requested kernel raised ``KernelUnsupportedError``
+    fallback_from: Optional[str] = None
+    #: the unsupported-kernel error message recorded on fallback
+    fallback_error: Optional[str] = None
 
     @property
     def block_reduction(self) -> float:
@@ -75,43 +89,34 @@ class MultiplyReport:
     n_blocks: int
     useful_flops: float
     bound: str
+    backend: str = "smat"
     kernel_meta: Dict[str, object] = field(default_factory=dict)
     preprocessing: Optional[PreprocessReport] = None
 
 
-def matrix_fingerprint(A: CSRMatrix) -> str:
-    """Content hash identifying a CSR matrix for plan reuse.
-
-    Covers the shape, the sparsity structure (``rowptr``/``col``) *and*
-    the stored values: two matrices with the same pattern but different
-    values produce different products, so they must not share a cached
-    plan.  The hash is a 128-bit BLAKE2b digest -- collisions are
-    negligible, and hashing is orders of magnitude cheaper than the
-    reordering pass it guards.
-
-    The digest is memoised on the matrix instance so per-query cache
-    lookups are O(1) instead of re-hashing O(nnz) bytes per batch item;
-    like the rest of the pipeline (plans keep references to ``A``), this
-    treats the matrix arrays as immutable once constructed.
-    """
-    cached = getattr(A, "_fingerprint", None)
-    if cached is not None:
-        return cached
-    h = hashlib.blake2b(digest_size=16)
-    h.update(np.asarray([A.nrows, A.ncols, A.nnz], dtype=np.int64).tobytes())
-    h.update(np.ascontiguousarray(A.rowptr).tobytes())
-    h.update(np.ascontiguousarray(A.col).tobytes())
-    h.update(np.ascontiguousarray(A.val).tobytes())
-    digest = h.hexdigest()
-    A._fingerprint = digest
-    return digest
+# matrix_fingerprint's canonical implementation lives in the formats layer
+# (kernels key their re-prepare check on it too); re-exported here unchanged.
 
 
 def config_signature(config: SMaTConfig) -> Tuple:
     """Hashable signature of every configuration field that changes the
-    prepared state (permutation, BCSR blocking, or kernel instance)."""
+    prepared state (permutation, BCSR blocking, or kernel instance).
+
+    The execution backend is a first-class component of the signature:
+    plans for two different libraries of the same matrix get distinct
+    cache keys, so they coexist in one plan cache instead of colliding.
+    For non-blocked backends the SMaT-only knobs (reordering, block
+    shape, variant) are *normalised away* -- they never reach the build
+    (``_build_unblocked`` ignores them), so two configs differing only in
+    those fields share one cached plan instead of storing duplicate
+    prepared state (e.g. two identical dense copies for cuBLAS).
+    """
+    kernel = config.resolved_kernel()
+    if kernel != "auto" and not KERNEL_REGISTRY[kernel].wants_reordering:
+        return (kernel, config.resolved_precision().key, config.arch.name)
     variant = config.variant if isinstance(config.variant, str) else config.variant.label
     return (
+        kernel,
         config.resolved_precision().key,
         config.resolved_block_shape(),
         config.reorder.lower(),
@@ -132,9 +137,13 @@ class ExecutionPlan:
     """Prepared state for executing ``C = A @ B`` many times.
 
     Holds the row (and optional column) permutation, the permuted matrix,
-    the preprocessing report, and a kernel instance whose internal BCSR
-    representation is already built.  Create plans with :meth:`build`;
-    instances are immutable and thread-safe to :meth:`execute`.
+    the preprocessing report, and a prepared kernel instance of the
+    configured backend (``config.kernel``): the paper's BCSR Tensor-Core
+    kernel by default, or any registered baseline library -- every
+    backend's internal format conversion happens at build time, so
+    repeated executions amortise it identically.  Create plans with
+    :meth:`build`; instances are immutable and thread-safe to
+    :meth:`execute`.
     """
 
     def __init__(
@@ -145,7 +154,7 @@ class ExecutionPlan:
         row_perm: np.ndarray,
         col_perm: Optional[np.ndarray],
         permuted: CSRMatrix,
-        kernel: SMaTKernel,
+        kernel: SpMMKernel,
         report: PreprocessReport,
         reorder_result: Optional[ReorderResult] = None,
     ):
@@ -162,23 +171,46 @@ class ExecutionPlan:
     def build(cls, A: CSRMatrix, config: Optional[SMaTConfig] = None) -> "ExecutionPlan":
         """Run the full preprocessing pipeline (Section IV-C) for ``A``.
 
-        Computes the block-minimising permutation, applies it (unless
+        Dispatches on ``config.kernel``: for blocked backends (SMaT) it
+        computes the block-minimising permutation, applies it (unless
         ``auto_skip_reordering`` decides the input ordering is already at
-        least as good), and prepares the BCSR Tensor-Core kernel.
+        least as good), and prepares the BCSR Tensor-Core kernel; for
+        non-blocked backends (cuSPARSE, DASP, Magicube, cuBLAS) the
+        BCSR-specific reordering pass is skipped entirely -- the library
+        consumes ``A`` as-is, exactly the paper's comparison protocol --
+        and only the backend's own format conversion runs.  ``"auto"``
+        (for the kernel or the reordering) first resolves the
+        configuration through the per-matrix auto-tuner.
+
+        May raise :class:`~repro.kernels.KernelUnsupportedError` when the
+        backend cannot handle the matrix (e.g. the densified operand does
+        not fit in device memory); the engine turns that into a recorded
+        fallback to SMaT.
         """
         if not isinstance(A, CSRMatrix):
             raise TypeError("ExecutionPlan expects a repro.formats.CSRMatrix input")
         config = (config or SMaTConfig()).validate()
 
-        if config.reorder.lower() == "auto":
-            # tuned pipeline: resolve the configuration through the
-            # auto-tuner (persistent-cache hit, or a one-off search);
-            # imported lazily to keep core free of a tuner dependency
+        if config.reorder.lower() == "auto" or config.resolved_kernel() == "auto":
+            # tuned pipeline: resolve the configuration (backend, block
+            # shape, reordering) through the auto-tuner (persistent-cache
+            # hit, or a one-off search); imported lazily to keep core free
+            # of a tuner dependency
             from ..tuner import resolve_auto_config
 
             config = resolve_auto_config(A, config)
 
+        backend = config.resolved_kernel()
         block_shape = config.resolved_block_shape()
+        if KERNEL_REGISTRY[backend].wants_reordering:
+            return cls._build_blocked(A, config, backend, block_shape)
+        return cls._build_unblocked(A, config, backend, block_shape)
+
+    @classmethod
+    def _build_blocked(
+        cls, A: CSRMatrix, config: SMaTConfig, backend: str, block_shape: Tuple[int, int]
+    ) -> "ExecutionPlan":
+        """The paper's pipeline: block-minimising reorder + BCSR kernel."""
         name = config.reorder.lower()
         if name in ("identity", "none"):
             reorderer = get_reorderer("identity", block_shape=block_shape)
@@ -213,7 +245,8 @@ class ExecutionPlan:
             col_perm = None
             permuted = A
 
-        kernel = SMaTKernel(
+        kernel = get_kernel(
+            backend,
             config.arch,
             config.precision,
             variant=config.variant,
@@ -232,6 +265,7 @@ class ExecutionPlan:
             std_after=stats_after.std_blocks_per_row if stats_after else 0.0,
             n_block_rows=stats_after.n_block_rows if stats_after else 0,
             block_shape=block_shape,
+            backend=backend,
         )
         return cls(
             A,
@@ -244,12 +278,54 @@ class ExecutionPlan:
             reorder_result=result,
         )
 
+    @classmethod
+    def _build_unblocked(
+        cls, A: CSRMatrix, config: SMaTConfig, backend: str, block_shape: Tuple[int, int]
+    ) -> "ExecutionPlan":
+        """Baseline-library pipeline: no reordering, only the backend's
+        own format conversion (cuSPARSE keeps CSR, Magicube builds
+        SR-BCRS, cuBLAS densifies, ...)."""
+        kernel = get_kernel(backend, config.arch, config.precision)
+        kernel.prepare(A)
+        report = PreprocessReport(
+            algorithm="identity",
+            applied=False,
+            blocks_before=0,
+            blocks_after=0,
+            std_before=0.0,
+            std_after=0.0,
+            n_block_rows=0,
+            block_shape=block_shape,
+            backend=backend,
+        )
+        return cls(
+            A,
+            config,
+            row_perm=identity_permutation(A.nrows),
+            col_perm=None,
+            permuted=A,
+            kernel=kernel,
+            report=report,
+            reorder_result=None,
+        )
+
     # -- accessors ------------------------------------------------------------------
     @property
+    def backend(self) -> str:
+        """Registry key of the backend the plan was built for."""
+        return self.report.backend
+
+    @property
     def bcsr(self) -> BCSRMatrix:
-        """The internal BCSR representation of the (permuted) matrix."""
-        assert self.kernel.bcsr is not None
-        return self.kernel.bcsr
+        """The internal BCSR representation of the (permuted) matrix
+        (blocked backends only)."""
+        bcsr = getattr(self.kernel, "bcsr", None)
+        if bcsr is None:
+            raise AttributeError(
+                f"plan built for backend {self.report.backend!r} has no BCSR "
+                "representation (only blocked kernels convert to BCSR)"
+            )
+        return bcsr
 
     @property
     def shape(self) -> Tuple[int, int]:
@@ -285,8 +361,11 @@ class ExecutionPlan:
         was_vector = B_arr.ndim == 1
         result = self.run_kernel(B_arr)
         C = result.C
-        if not keep_permuted:
+        if not keep_permuted and self.report.applied:
             # row i of the permuted result is original row row_perm[i]
+            # (plans whose permutation was skipped -- every non-blocked
+            # backend, and blocked plans where auto_skip_reordering kept
+            # the input order -- return the kernel result directly)
             C_out = np.empty_like(C)
             C_out[self.row_perm] = C
             C = C_out
@@ -298,6 +377,7 @@ class ExecutionPlan:
             n_blocks=int(result.meta.get("n_blocks", 0)),
             useful_flops=result.counters.useful_flops,
             bound=result.timing.bound,
+            backend=self.report.backend,
             kernel_meta=dict(result.meta),
             preprocessing=self.report,
         )
@@ -306,6 +386,50 @@ class ExecutionPlan:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<ExecutionPlan A={self.A.shape} nnz={self.A.nnz} "
-            f"reorder={self.config.reorder!r} variant={self.config.variant!r} "
-            f"blocks={self.report.blocks_after}>"
+            f"backend={self.report.backend!r} reorder={self.config.reorder!r} "
+            f"variant={self.config.variant!r} blocks={self.report.blocks_after}>"
         )
+
+
+def build_with_fallback(
+    A: CSRMatrix, config: SMaTConfig, *, tuner=None
+) -> ExecutionPlan:
+    """Build one plan, falling back to SMaT when the requested backend
+    cannot handle the matrix.
+
+    Shared by the engine's plan factory and the per-shard planner so the
+    fallback behaves identically across layers.  A
+    :class:`~repro.kernels.KernelUnsupportedError` from the build (e.g.
+    cuBLAS densification or Magicube preprocessing exceeding device
+    memory) is absorbed for every backend except SMaT itself: the plan is
+    rebuilt with ``kernel="smat"`` and the fallback -- the *concrete*
+    backend that failed (also when ``"auto"`` was requested and the tuner
+    selected it), and why -- is recorded in the plan's
+    :class:`PreprocessReport`.
+
+    ``tuner`` resolves the configuration before building (the engine's
+    tuned path); without one, an ``"auto"`` kernel or reordering is
+    resolved here through :func:`~repro.tuner.resolve_auto_config` so the
+    failing backend is still known by name on fallback.
+    """
+    config = config.validate()
+    requested = config.resolved_kernel()
+    failed = requested
+    try:
+        if tuner is not None:
+            resolved = tuner.resolve(A, config)
+        elif requested == "auto" or config.reorder.lower() == "auto":
+            from ..tuner import resolve_auto_config
+
+            resolved = resolve_auto_config(A, config)
+        else:
+            resolved = config
+        failed = resolved.resolved_kernel()
+        return ExecutionPlan.build(A, resolved)
+    except KernelUnsupportedError as exc:
+        if "smat" in (requested, failed):
+            raise
+        plan = ExecutionPlan.build(A, replace(config, kernel="smat"))
+        plan.report.fallback_from = failed if failed != "auto" else requested
+        plan.report.fallback_error = str(exc)
+        return plan

@@ -45,7 +45,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Un
 import numpy as np
 
 from ..core.config import SMaTConfig
-from ..core.plan import ExecutionPlan, MultiplyReport, plan_key
+from ..core.plan import ExecutionPlan, MultiplyReport, build_with_fallback, plan_key
 from ..formats import CSRMatrix
 from .cache import CacheStats, PlanCache
 
@@ -200,11 +200,18 @@ class SpMMEngine:
             # build factory: the plan cache's per-key build lock then also
             # deduplicates concurrent tuning searches for the same matrix
             key = (plan_key(A, cfg), "tuned")
-            return self._cache.get_or_build(
-                key, lambda: ExecutionPlan.build(A, self.tuner.resolve(A, cfg))
-            )
+            return self._cache.get_or_build(key, lambda: self._build_plan(A, cfg, tuned=True))
         key = plan_key(A, cfg)
-        return self._cache.get_or_build(key, lambda: ExecutionPlan.build(A, cfg))
+        return self._cache.get_or_build(key, lambda: self._build_plan(A, cfg))
+
+    def _build_plan(self, A: CSRMatrix, cfg: SMaTConfig, *, tuned: bool = False) -> ExecutionPlan:
+        """Build one plan via :func:`~repro.core.plan.build_with_fallback`:
+        an unsupported backend (cuBLAS densification or Magicube
+        preprocessing exceeding device memory) falls back to SMaT with the
+        failed backend recorded in the plan's ``PreprocessReport``.  The
+        fallback plan is cached under the *requested* key, so the
+        unsupported backend is not re-attempted on every query."""
+        return build_with_fallback(A, cfg, tuner=self.tuner if tuned else None)
 
     @property
     def plan_cache(self) -> PlanCache:

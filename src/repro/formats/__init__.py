@@ -21,7 +21,7 @@ from .bcsr import BCSRMatrix
 from .conversions import FORMAT_REGISTRY, convert, register_format
 from .coo import COOMatrix
 from .csc import CSCMatrix
-from .csr import CSRMatrix
+from .csr import CSRMatrix, matrix_fingerprint
 from .dense import DenseMatrix
 from .graphops import (
     add_self_loops,
@@ -39,6 +39,7 @@ __all__ = [
     "index_dtype_for",
     "COOMatrix",
     "CSRMatrix",
+    "matrix_fingerprint",
     "CSCMatrix",
     "BCSRMatrix",
     "SRBCRSMatrix",

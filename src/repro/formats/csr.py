@@ -9,6 +9,7 @@ support sets, bandwidth).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Tuple
 
 import numpy as np
@@ -21,7 +22,35 @@ from .base import (
     index_dtype_for,
 )
 
-__all__ = ["CSRMatrix"]
+__all__ = ["CSRMatrix", "matrix_fingerprint"]
+
+
+def matrix_fingerprint(A: "CSRMatrix") -> str:
+    """Content hash identifying a CSR matrix for prepared-state reuse.
+
+    Covers the shape, the sparsity structure (``rowptr``/``col``) *and*
+    the stored values: two matrices with the same pattern but different
+    values produce different products, so they must not share a cached
+    plan or a prepared kernel.  The hash is a 128-bit BLAKE2b digest --
+    collisions are negligible, and hashing is orders of magnitude cheaper
+    than the preprocessing it guards.
+
+    The digest is memoised on the matrix instance so per-query cache
+    lookups are O(1) instead of re-hashing O(nnz) bytes per batch item;
+    like the rest of the pipeline (plans keep references to ``A``), this
+    treats the matrix arrays as immutable once constructed.
+    """
+    cached = getattr(A, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.asarray([A.nrows, A.ncols, A.nnz], dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(A.rowptr).tobytes())
+    h.update(np.ascontiguousarray(A.col).tobytes())
+    h.update(np.ascontiguousarray(A.val).tobytes())
+    digest = h.hexdigest()
+    A._fingerprint = digest
+    return digest
 
 
 class CSRMatrix(SparseFormat):

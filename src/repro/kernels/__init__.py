@@ -16,7 +16,8 @@ A100 execution time through :mod:`repro.gpu`:
 Use :func:`get_kernel` to instantiate by name.
 """
 
-from typing import Dict, Type
+import inspect
+from typing import Dict, List, Type
 
 from .base import KernelResult, KernelUnsupportedError, SpMMKernel
 from .csr_spmm import CusparseCSRKernel
@@ -38,6 +39,7 @@ __all__ = [
     "KERNEL_REGISTRY",
     "get_kernel",
     "available_kernels",
+    "kernel_info",
 ]
 
 KERNEL_REGISTRY: Dict[str, Type[SpMMKernel]] = {
@@ -50,13 +52,47 @@ KERNEL_REGISTRY: Dict[str, Type[SpMMKernel]] = {
 
 
 def get_kernel(name: str, *args, **kwargs) -> SpMMKernel:
-    """Instantiate a kernel by (case-insensitive) library name."""
+    """Instantiate a kernel by (case-insensitive) library name.
+
+    Constructor arguments are checked against the kernel's own signature
+    *before* instantiation: passing an argument the backend does not
+    accept (e.g. SMaT's ``block_shape`` to cuSPARSE) raises a
+    :class:`TypeError` naming the backend, instead of an anonymous
+    ``__init__`` failure from deep inside the registry.
+    """
     key = name.lower()
     if key not in KERNEL_REGISTRY:
         raise ValueError(f"unknown kernel {name!r}; available: {sorted(KERNEL_REGISTRY)}")
-    return KERNEL_REGISTRY[key](*args, **kwargs)
+    cls = KERNEL_REGISTRY[key]
+    try:
+        inspect.signature(cls.__init__).bind(None, *args, **kwargs)
+    except TypeError as exc:
+        raise TypeError(
+            f"kernel backend {key!r} ({cls.__name__}) does not accept these "
+            f"arguments: {exc}"
+        ) from None
+    return cls(*args, **kwargs)
 
 
 def available_kernels() -> list[str]:
     """Names of all registered kernels."""
     return sorted(KERNEL_REGISTRY)
+
+
+def kernel_info() -> List[dict]:
+    """One descriptive row per registered backend (for ``repro kernels``).
+
+    Each row carries the registry key, the display name, the internal
+    storage format, whether the backend consumes the block-minimising
+    reordering, and a one-line summary of its cost model.
+    """
+    return [
+        {
+            "kernel": key,
+            "library": cls.name,
+            "format": cls.input_format,
+            "reordered": cls.wants_reordering,
+            "cost_model": cls.cost_notes,
+        }
+        for key, cls in KERNEL_REGISTRY.items()
+    ]

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..formats import CSRMatrix
 from ..formats.base import check_dense_operand
+from ..formats.csr import matrix_fingerprint
 from ..gpu import (
     A100_SXM4_40GB,
     CostModel,
@@ -83,6 +84,15 @@ class SpMMKernel(abc.ABC):
 
     #: human-readable library name ("SMaT", "cuSPARSE", ...)
     name: str = "abstract"
+    #: internal storage format the kernel converts the CSR input into
+    input_format: str = "csr"
+    #: whether the kernel benefits from the block-minimising row
+    #: permutation (BCSR-style blocked kernels only) -- the preprocessing
+    #: pipeline skips the reordering pass for kernels that do not
+    wants_reordering: bool = False
+    #: one-line description of the kernel's cost model, surfaced by
+    #: ``repro kernels`` and the tuner's search table
+    cost_notes: str = ""
 
     def __init__(self, arch: GPUArchitecture = A100_SXM4_40GB, precision="fp16"):
         self.arch = arch
@@ -117,10 +127,31 @@ class SpMMKernel(abc.ABC):
         simulated timing."""
 
     def multiply(self, A: CSRMatrix, B: np.ndarray) -> KernelResult:
-        """Convenience: prepare for ``A`` (if needed) and run against ``B``."""
-        if self._prepared_for is not A:
+        """Convenience: prepare for ``A`` (if needed) and run against ``B``.
+
+        Re-preparation is keyed on the matrix *content fingerprint*, not
+        object identity: an equal matrix loaded twice (two objects, same
+        bytes) reuses the prepared state instead of paying the format
+        conversion again.
+        """
+        if self._prepared_for is None or (
+            self._prepared_for is not A
+            and matrix_fingerprint(self._prepared_for) != matrix_fingerprint(A)
+        ):
             self.prepare(A)
         return self.run(B)
+
+    def tuning_work(self, A: CSRMatrix) -> float:
+        """The work measure the tuner's Eq. 1-style linear cost model
+        predicts this kernel's time from (default: stored non-zeros).
+
+        Each kernel owns its cost model: SMaT's time is linear in the
+        BCSR block count, the CSR-based libraries stream ``nnz`` entries,
+        and cuBLAS pays for the densified ``M x K`` operand regardless of
+        sparsity.  The tuner calibrates one linear fit per (kernel,
+        configuration) against this measure and prunes candidates with it.
+        """
+        return float(A.nnz)
 
     # -- shared helpers ---------------------------------------------------------------
     def _validate_B(self, B: np.ndarray) -> np.ndarray:

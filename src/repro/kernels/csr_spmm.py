@@ -48,6 +48,11 @@ class CusparseCSRKernel(SpMMKernel):
     """Simulated cuSPARSE ``SpMM_CSR`` (CUDA-core) kernel."""
 
     name = "cuSPARSE"
+    input_format = "csr"
+    cost_notes = (
+        "CUDA-core row-gather model: latency-bound B gathers per non-zero, "
+        "long rows split across warps; time linear in nnz"
+    )
 
     def __init__(self, arch=None, precision="fp16"):
         if arch is None:

@@ -40,6 +40,11 @@ class DASPKernel(SpMMKernel):
     """Simulated DASP batched-SpMV kernel (one launch per column of B)."""
 
     name = "DASP"
+    input_format = "csr (row-packed)"
+    cost_notes = (
+        "bandwidth-bound SpMV repeated N times (one launch per column of B); "
+        "time linear in nnz x N -- strongest at very small N"
+    )
 
     def __init__(self, arch=None, precision="fp16"):
         if arch is None:

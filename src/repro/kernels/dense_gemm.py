@@ -37,6 +37,11 @@ class CublasDenseKernel(SpMMKernel):
     """Simulated cuBLAS HGEMM applied to the explicitly densified matrix."""
 
     name = "cuBLAS"
+    input_format = "dense"
+    cost_notes = (
+        "dense GEMM roofline on the zero-padded operand: time follows M x K "
+        "(not nnz), so it wins once the matrix is dense enough (Figure 9)"
+    )
 
     def __init__(self, arch=None, precision="fp16"):
         if arch is None:
@@ -61,6 +66,11 @@ class CublasDenseKernel(SpMMKernel):
         self.dense = DenseMatrix.from_sparse(A)
         self._nnz_logical = A.nnz
         self._mark_prepared(A)
+
+    def tuning_work(self, A: CSRMatrix) -> float:
+        """cuBLAS pays for the densified operand: ``M x K`` elements,
+        independent of the sparsity."""
+        return float(A.nrows) * float(A.ncols)
 
     # -- model ----------------------------------------------------------------------------
     def _counters(self, n_cols: int) -> KernelCounters:

@@ -56,6 +56,11 @@ class MagicubeKernel(SpMMKernel):
     """
 
     name = "Magicube"
+    input_format = "sr-bcrs"
+    cost_notes = (
+        "per-vector Tensor-Core cycles on the SR-BCRS format; ~linear in nnz "
+        "but a 6x memory-footprint gate (raises unsupported on large matrices)"
+    )
 
     def __init__(self, arch=None, precision="fp16", *, vector_length: int = 8, stride: int = 4):
         if arch is None:

@@ -41,6 +41,9 @@ class ShardReport:
     rows: Tuple[int, int]
     cols: Tuple[int, int]
     nnz: int
+    #: execution backend of the shard's plan (``"-"`` for empty shards);
+    #: per-shard tuning may pick different backends across one matrix
+    backend: str
     #: chosen configuration, ``HxW/reorder`` (``"-"`` for empty shards)
     config: str
     #: non-zero BCSR blocks of the shard's plan
@@ -86,6 +89,14 @@ class ShardedReport:
         """Shards whose plan came from the cache (no rebuild)."""
         return sum(1 for s in self.shards if s.cache_hit)
 
+    @property
+    def backends(self) -> List[str]:
+        """Distinct execution backends across the shards (sorted).
+
+        More than one entry means per-shard tuning selected a
+        heterogeneous backend mix for this matrix."""
+        return sorted({s.backend for s in self.shards if s.backend != "-"})
+
     def table(self) -> List[dict]:
         """Shard-table rows for the CLI / examples."""
         return [
@@ -95,6 +106,7 @@ class ShardedReport:
                 "cols": f"{s.cols[0]}:{s.cols[1]}",
                 "nnz": s.nnz,
                 "imbalance": s.imbalance,
+                "backend": s.backend,
                 "config": s.config,
                 "blocks": s.blocks,
                 "sim_ms": s.simulated_ms,
@@ -115,6 +127,7 @@ def _shard_report(
         rows=(shard.row_start, shard.row_stop),
         cols=(shard.col_start, shard.col_stop),
         nnz=shard.nnz,
+        backend=entry.backend,
         config=entry.config_label,
         blocks=blocks,
         cache_hit=entry.cache_hit,

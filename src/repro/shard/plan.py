@@ -29,7 +29,12 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.config import SMaTConfig
-from ..core.plan import ExecutionPlan, config_signature, matrix_fingerprint
+from ..core.plan import (
+    ExecutionPlan,
+    build_with_fallback,
+    config_signature,
+    matrix_fingerprint,
+)
 from ..engine.cache import PlanCache
 from .partition import Partition, Shard
 
@@ -77,10 +82,26 @@ class ShardPlanEntry:
     build_ms: float
 
     @property
-    def config_label(self) -> str:
-        """Compact ``HxW/reorder`` description of the built plan."""
+    def backend(self) -> str:
+        """Execution backend of this shard's plan (``"-"`` when empty).
+
+        Per-shard tuning with ``kernel="auto"`` may select *different*
+        backends for different shards of one matrix -- e.g. cuBLAS on a
+        dense panel, SMaT elsewhere."""
         if self.plan is None:
             return "-"
+        return self.plan.report.backend
+
+    @property
+    def config_label(self) -> str:
+        """Compact description of the built plan: ``HxW/reorder`` for SMaT
+        shards, the bare backend name (e.g. ``"cublas"``) otherwise --
+        block shape and reordering are inert for non-blocked backends."""
+        if self.plan is None:
+            return "-"
+        backend = self.plan.report.backend
+        if backend != "smat":
+            return backend
         h, w = self.plan.report.block_shape
         return f"{h}x{w}/{self.plan.report.algorithm}"
 
@@ -106,23 +127,20 @@ class ShardPlanner:
         self.tuner = tuner
 
     def plan_for(self, shard: Shard, config: SMaTConfig) -> ShardPlanEntry:
-        """Fetch or build the plan for one shard (empty shards get none)."""
+        """Fetch or build the plan for one shard (empty shards get none).
+
+        Builds go through :func:`~repro.core.plan.build_with_fallback`,
+        so a backend that cannot handle one shard (e.g. cuBLAS on a panel
+        whose dense form exceeds device memory) falls back to SMaT for
+        that shard -- recorded in its report -- instead of crashing the
+        whole sharded multiply."""
         start = time.perf_counter()
         if shard.nnz == 0:
             return ShardPlanEntry(shard=shard, plan=None, cache_hit=True, build_ms=0.0)
-        if self.tuner is not None:
-            key = shard_plan_key(shard, config, tuned=True)
-            plan, hit = self.cache.get_or_build(
-                key,
-                lambda: ExecutionPlan.build(
-                    shard.matrix, self.tuner.resolve(shard.matrix, config)
-                ),
-            )
-        else:
-            key = shard_plan_key(shard, config)
-            plan, hit = self.cache.get_or_build(
-                key, lambda: ExecutionPlan.build(shard.matrix, config)
-            )
+        key = shard_plan_key(shard, config, tuned=self.tuner is not None)
+        plan, hit = self.cache.get_or_build(
+            key, lambda: build_with_fallback(shard.matrix, config, tuner=self.tuner)
+        )
         build_ms = 1e3 * (time.perf_counter() - start)
         return ShardPlanEntry(shard=shard, plan=plan, cache_hit=hit, build_ms=build_ms)
 

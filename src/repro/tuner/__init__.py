@@ -41,7 +41,13 @@ from .search import (
     tune,
     tuning_key,
 )
-from .space import DEFAULT_REORDERERS, Candidate, block_shape_menu, candidate_space
+from .space import (
+    DEFAULT_REORDERERS,
+    Candidate,
+    backend_menu,
+    block_shape_menu,
+    candidate_space,
+)
 
 __all__ = [
     "Tuner",
@@ -52,6 +58,7 @@ __all__ = [
     "tuning_key",
     "Candidate",
     "candidate_space",
+    "backend_menu",
     "block_shape_menu",
     "DEFAULT_REORDERERS",
     "CandidateEstimate",

@@ -5,20 +5,25 @@ Measuring a candidate is expensive: it runs a full preprocessing pass
 module prices candidates *without* reordering, using the paper's own
 machinery:
 
-1. **Calibration** (per block shape / kernel variant / precision / arch /
-   operand width): the linear runtime model of Eq. 1,
+1. **Calibration** (per kernel backend / block shape / variant /
+   precision / arch / operand width): the linear runtime model of Eq. 1,
    ``T = T_e * n_e + T_init``, is fitted with
    :class:`~repro.core.perfmodel.LinearPerformanceModel` on a handful of
-   tiny synthetic band matrices run through the real
-   :class:`~repro.kernels.SMaTKernel` and :class:`~repro.gpu.cost.CostModel`
-   -- exactly the fit of Figure 2, just automated.  Calibrations are
-   memoised process-wide, so they are paid once, not per matrix.
-2. **Block-count bounds** (per matrix x block shape): the candidate's
-   ``n_e`` after reordering is unknown before the reordering runs, but it
-   is bracketed by Eq. 2: no permutation can pack the matrix below
-   ``ceil(nnz / (h*w))`` blocks, and ``auto_skip_reordering`` guarantees
-   it never ends up *above* the current ordering's block count (which is
-   a cheap O(nnz) :func:`~repro.reorder.metrics.count_blocks` pass).
+   tiny synthetic matrices run through the real kernel and
+   :class:`~repro.gpu.cost.CostModel` -- exactly the fit of Figure 2,
+   just automated.  The predictor ``n_e`` is *each kernel's own* work
+   measure (:meth:`~repro.kernels.base.SpMMKernel.tuning_work`): BCSR
+   block count for SMaT, streamed non-zeros for the CSR-based libraries,
+   densified ``M x K`` elements for cuBLAS.  Calibrations are memoised
+   process-wide, so they are paid once, not per matrix.
+2. **Block-count bounds** (per matrix x block shape, SMaT only): the
+   candidate's ``n_e`` after reordering is unknown before the reordering
+   runs, but it is bracketed by Eq. 2: no permutation can pack the matrix
+   below ``ceil(nnz / (h*w))`` blocks, and ``auto_skip_reordering``
+   guarantees it never ends up *above* the current ordering's block count
+   (which is a cheap O(nnz) :func:`~repro.reorder.metrics.count_blocks`
+   pass).  Non-blocked backends have no reordering bracket: their work
+   measure is exact, so optimistic == guaranteed.
 
 Together these give every candidate an optimistic / guaranteed predicted
 time, and the search discards candidates whose *optimistic* time is worse
@@ -37,7 +42,7 @@ import numpy as np
 from ..core.config import SMaTConfig
 from ..core.perfmodel import FitResult, LinearPerformanceModel, block_count_bounds
 from ..formats import CSRMatrix
-from ..kernels import SMaTKernel
+from ..kernels import SMaTKernel, get_kernel
 from ..matrices import band_matrix
 from ..reorder.metrics import count_blocks
 
@@ -48,8 +53,12 @@ __all__ = ["CandidateEstimate", "calibrate", "estimate_candidate", "clear_calibr
 CALIBRATION_DIM = 512
 #: band widths of the calibration samples (varying n_e, as in Figure 2)
 CALIBRATION_BANDWIDTHS = (2, 8, 32, 96)
+#: (dimension, bandwidth) calibration samples for non-SMaT backends: the
+#: dimensions vary too, so work measures that do not follow nnz (cuBLAS's
+#: M x K) still span a fittable range
+CALIBRATION_SAMPLES = ((256, 8), (384, 24), (512, 8), (512, 64), (768, 48))
 
-_CalKey = Tuple[Tuple[int, int], str, str, str, int]
+_CalKey = Tuple[str, Tuple[int, int], str, str, str, int]
 _CALIBRATIONS: Dict[_CalKey, FitResult] = {}
 _CAL_LOCK = threading.Lock()
 
@@ -58,10 +67,12 @@ _CAL_LOCK = threading.Lock()
 class CandidateEstimate:
     """Analytical prediction for one candidate on one matrix."""
 
-    #: block count of the matrix in its current ordering (guaranteed
-    #: achievable: auto_skip_reordering falls back to it)
+    #: the backend's work measure at the current ordering -- BCSR block
+    #: count for SMaT (guaranteed achievable: auto_skip_reordering falls
+    #: back to it), nnz / densified elements for the baseline libraries
     blocks_now: int
-    #: Eq. 2 lower bound on the block count of *any* ordering
+    #: Eq. 2 lower bound on the block count of *any* ordering (SMaT);
+    #: equal to ``blocks_now`` for backends with no reordering bracket
     blocks_lower_bound: int
     #: predicted time at ``blocks_now`` (seconds)
     guaranteed_s: float
@@ -79,9 +90,12 @@ class CandidateEstimate:
         return 1e3 * self.guaranteed_s
 
 
-def _calibration_key(config: SMaTConfig, block_shape: Tuple[int, int], n_cols: int) -> _CalKey:
+def _calibration_key(
+    config: SMaTConfig, block_shape: Tuple[int, int], n_cols: int, kernel: str
+) -> _CalKey:
     variant = config.variant if isinstance(config.variant, str) else config.variant.label
     return (
+        kernel,
         (int(block_shape[0]), int(block_shape[1])),
         config.resolved_precision().key,
         variant,
@@ -90,36 +104,61 @@ def _calibration_key(config: SMaTConfig, block_shape: Tuple[int, int], n_cols: i
     )
 
 
-def calibrate(config: SMaTConfig, block_shape: Tuple[int, int], n_cols: int) -> FitResult:
-    """Fit Eq. 1 for one (block shape, variant, precision, arch, N) point.
+def calibrate(
+    config: SMaTConfig,
+    block_shape: Tuple[int, int],
+    n_cols: int,
+    kernel: str = "smat",
+) -> FitResult:
+    """Fit Eq. 1 for one (backend, block shape, variant, precision, arch,
+    N) point.
 
-    Runs the real kernel on tiny band matrices of varying bandwidth and
-    fits simulated time against the resulting block counts.  Memoised
+    Runs the real kernel on tiny synthetic matrices and fits simulated
+    time against the kernel's own work measure
+    (:meth:`~repro.kernels.base.SpMMKernel.tuning_work`): BCSR block
+    counts for SMaT (band matrices of varying bandwidth, the Figure-2
+    fit), nnz for the CSR libraries, densified elements for cuBLAS (the
+    sample dimensions vary so the measure spans a range).  Memoised
     process-wide.
+
+    May raise :class:`~repro.kernels.KernelUnsupportedError` when the
+    backend cannot run even the calibration samples (e.g. a simulated
+    device too small to densify them); the search treats such a backend
+    as unsupported.
     """
-    key = _calibration_key(config, block_shape, n_cols)
+    key = _calibration_key(config, block_shape, n_cols, kernel)
     with _CAL_LOCK:
         cached = _CALIBRATIONS.get(key)
     if cached is not None:
         return cached
 
     rng = np.random.default_rng(0)
-    B = rng.normal(size=(CALIBRATION_DIM, n_cols)).astype(np.float32)
-    counts = []
+    work = []
     times = []
-    for bw in CALIBRATION_BANDWIDTHS:
-        A = band_matrix(CALIBRATION_DIM, bw, rng=np.random.default_rng(bw))
-        kernel = SMaTKernel(
-            config.arch,
-            config.precision,
-            variant=config.variant,
-            block_shape=block_shape,
-        )
-        kernel.prepare(A)
-        result = kernel.run(B)
-        counts.append(float(result.counters.extra.get("n_blocks", 0.0)))
-        times.append(result.timing.time_s)
-    fit = LinearPerformanceModel().fit(counts, times)
+    if kernel == "smat":
+        B = rng.normal(size=(CALIBRATION_DIM, n_cols)).astype(np.float32)
+        for bw in CALIBRATION_BANDWIDTHS:
+            A = band_matrix(CALIBRATION_DIM, bw, rng=np.random.default_rng(bw))
+            k = SMaTKernel(
+                config.arch,
+                config.precision,
+                variant=config.variant,
+                block_shape=block_shape,
+            )
+            k.prepare(A)
+            result = k.run(B)
+            work.append(float(result.counters.extra.get("n_blocks", 0.0)))
+            times.append(result.timing.time_s)
+    else:
+        for dim, bw in CALIBRATION_SAMPLES:
+            A = band_matrix(dim, bw, rng=np.random.default_rng(bw))
+            B = rng.normal(size=(dim, n_cols)).astype(np.float32)
+            k = get_kernel(kernel, config.arch, config.precision)
+            k.prepare(A)
+            result = k.run(B)
+            work.append(k.tuning_work(A))
+            times.append(result.timing.time_s)
+    fit = LinearPerformanceModel().fit(work, times)
     with _CAL_LOCK:
         _CALIBRATIONS[key] = fit
     return fit
@@ -139,15 +178,31 @@ def estimate_candidate(
     reorders: bool,
     n_cols: int,
     blocks_now: Optional[int] = None,
+    kernel: str = "smat",
 ) -> CandidateEstimate:
     """Predicted time bracket for one candidate.
 
-    ``reorders`` is False for the identity candidate, whose block count is
-    exactly the current ordering's (no bracket).  ``blocks_now`` lets the
-    caller reuse one :func:`count_blocks` pass across every candidate
-    sharing a block shape (the count is an O(nnz) scan of ``A``).
+    For SMaT candidates, ``reorders`` is False for the identity
+    candidate, whose block count is exactly the current ordering's (no
+    bracket), and ``blocks_now`` lets the caller reuse one
+    :func:`count_blocks` pass across every candidate sharing a block
+    shape (the count is an O(nnz) scan of ``A``).
+
+    Non-SMaT candidates are priced with their own backend's calibrated
+    cost model against the backend's exact work measure (nnz, densified
+    elements, ...): no permutation changes it, so the bracket collapses
+    (optimistic == guaranteed).
     """
-    fit = calibrate(config, block_shape, n_cols)
+    fit = calibrate(config, block_shape, n_cols, kernel=kernel)
+    if kernel != "smat":
+        work = get_kernel(kernel, config.arch, config.precision).tuning_work(A)
+        predicted = float(fit.predict(work))
+        return CandidateEstimate(
+            blocks_now=int(work),
+            blocks_lower_bound=int(work),
+            guaranteed_s=predicted,
+            optimistic_s=predicted,
+        )
     if blocks_now is None:
         blocks_now = count_blocks(A, block_shape)
     lower, _ = block_count_bounds(A.nnz, A.nrows, A.ncols, block_shape)

@@ -2,8 +2,13 @@
 
 The paper arrives at its configuration (16 x 8 blocks, Jaccard
 reordering) through manual ablations -- a block-shape sweep (Section
-IV-B) and a reordering study (Section IV-C).  :class:`Tuner` automates
-exactly that experiment per matrix:
+IV-B) and a reordering study (Section IV-C) -- and its *comparative*
+result (which library wins on which matrix, Figures 8-10) through manual
+benchmarking.  :class:`Tuner` automates exactly those experiments per
+matrix; with ``SMaTConfig(kernel="auto")`` the search space grows a
+backend axis, each backend is priced with its own calibrated cost model,
+and the persisted winner is the full *(backend, block shape, reordering)*
+triple:
 
 1. enumerate the candidate space (:mod:`repro.tuner.space`),
 2. price every candidate with the Eq. 1 / Eq. 2 analytical bracket
@@ -35,6 +40,7 @@ import numpy as np
 from ..core.config import SMaTConfig
 from ..core.plan import ExecutionPlan, matrix_fingerprint
 from ..formats import CSRMatrix
+from ..kernels import KernelUnsupportedError
 from ..reorder.metrics import count_blocks
 from .cache import TuningCache
 from .model import CandidateEstimate, estimate_candidate
@@ -54,6 +60,15 @@ __all__ = [
 #: of model-equivalent candidates)
 PRUNE_SLACK = 1.05
 
+#: placeholder estimate for candidates whose backend raised
+#: KernelUnsupportedError before it could be priced
+_UNSUPPORTED_ESTIMATE = CandidateEstimate(
+    blocks_now=0,
+    blocks_lower_bound=0,
+    guaranteed_s=float("inf"),
+    optimistic_s=float("inf"),
+)
+
 
 @dataclass
 class CandidateOutcome:
@@ -63,6 +78,11 @@ class CandidateOutcome:
     estimate: CandidateEstimate
     measured: bool = False
     pruned: bool = False
+    #: the candidate's backend raised KernelUnsupportedError (during
+    #: calibration or measurement); skipped, never selected
+    unsupported: bool = False
+    #: the unsupported-kernel error message, when one was raised
+    error: Optional[str] = None
     #: measured (simulated device) multiply time -- the selection metric
     simulated_ms: float = float("inf")
     #: host wall-clock of one multiply on the built plan
@@ -76,13 +96,22 @@ class CandidateOutcome:
 
     def as_row(self) -> dict:
         """One row of the CLI search table."""
+        if self.unsupported:
+            status = "unsupported"
+        elif self.pruned:
+            status = "pruned"
+        elif self.measured:
+            status = "measured"
+        else:
+            status = "skipped"
         return {
             "candidate": self.candidate.label,
+            "kernel": self.candidate.kernel,
             "predicted_ms": self.estimate.optimistic_ms,
             "blocks": self.blocks_after if self.measured else self.estimate.blocks_now,
             "measured_ms": self.simulated_ms if self.measured else float("nan"),
             "wall_ms": self.wall_ms if self.measured else float("nan"),
-            "status": "pruned" if self.pruned else ("measured" if self.measured else "skipped"),
+            "status": status,
         }
 
 
@@ -109,7 +138,12 @@ class TuningResult:
     def tuned_vs_default(self) -> float:
         """Speedup of the winner over the paper's default configuration
         (``>= 1.0`` by construction: the default is always measured)."""
-        if self.best is None or self.default is None or self.best.simulated_ms <= 0:
+        if (
+            self.best is None
+            or self.default is None
+            or not self.default.measured
+            or self.best.simulated_ms <= 0
+        ):
             return 1.0
         return self.default.simulated_ms / self.best.simulated_ms
 
@@ -139,6 +173,7 @@ class TuningResult:
         assert self.best is not None
         cand = self.best.candidate
         return {
+            "kernel": cand.kernel,
             "block_shape": list(cand.block_shape),
             "reorder": cand.reorder,
             "reorder_columns": cand.reorder_columns,
@@ -153,7 +188,13 @@ class TuningResult:
 
 
 def _candidate_signature(c: Candidate) -> Tuple:
-    return (c.block_shape, c.reorder, c.reorder_columns, tuple(sorted(c.reorder_params.items())))
+    return (
+        c.kernel,
+        c.block_shape,
+        c.reorder,
+        c.reorder_columns,
+        tuple(sorted(c.reorder_params.items())),
+    )
 
 
 def _search_signature(
@@ -164,6 +205,7 @@ def _search_signature(
     variant = config.variant if isinstance(config.variant, str) else config.variant.label
     payload = repr(
         (
+            config.resolved_kernel(),
             config.resolved_precision().key,
             variant,
             config.arch.name,
@@ -192,8 +234,11 @@ class Tuner:
     n_cols:
         Operand width ``N`` the search optimises for (the paper's serving
         sweet spot, ``N=8``, by default).
-    reorderers, block_shapes, include_column_permutation:
+    reorderers, block_shapes, include_column_permutation, kernels:
         Candidate space knobs (see :func:`~repro.tuner.space.candidate_space`).
+        ``kernels`` overrides the backend menu; by default the menu follows
+        the base configuration -- the full registry for
+        ``SMaTConfig(kernel="auto")``, a single backend otherwise.
     max_measure:
         Measurement budget: at most this many surviving candidates get a
         real timed run (the rest are skipped, best-predicted first wins a
@@ -213,6 +258,7 @@ class Tuner:
         reorderers: Sequence[str] = DEFAULT_REORDERERS,
         block_shapes: Optional[Sequence[Tuple[int, int]]] = None,
         include_column_permutation: bool = False,
+        kernels: Optional[Sequence[str]] = None,
         max_measure: int = 8,
         repeats: int = 1,
         seed: int = 0,
@@ -231,6 +277,7 @@ class Tuner:
         self.reorderers = tuple(reorderers)
         self.block_shapes = tuple(tuple(s) for s in block_shapes) if block_shapes else None
         self.include_column_permutation = bool(include_column_permutation)
+        self.kernels = tuple(k.lower() for k in kernels) if kernels else None
         self.max_measure = int(max_measure)
         self.repeats = int(repeats)
         self.seed = int(seed)
@@ -243,6 +290,7 @@ class Tuner:
             block_shapes=self.block_shapes,
             reorderers=self.reorderers,
             include_column_permutation=self.include_column_permutation,
+            kernels=self.kernels,
         )
         default = self._default_candidate(config)
         if default not in space:
@@ -256,13 +304,28 @@ class Tuner:
 
     @staticmethod
     def _default_candidate(config: SMaTConfig) -> Candidate:
-        """The paper's default configuration: MMA-matched block shape and
-        Jaccard row reordering (or the base config's concrete choice)."""
-        reorder = config.reorder.lower()
-        if reorder in ("auto", ""):
-            reorder = "jaccard"
+        """The never-lose anchor the search always measures.
+
+        For ``kernel="auto"`` (and of course ``"smat"``) this is the
+        paper's default configuration -- SMaT with the MMA-matched block
+        shape and Jaccard row reordering -- so a backend search can never
+        select something worse than fixed-SMaT.  A concrete baseline
+        backend anchors on itself (block shape and reordering are inert
+        there)."""
+        kernel = config.resolved_kernel()
+        if kernel in ("auto", "smat"):
+            reorder = config.reorder.lower()
+            if reorder in ("auto", ""):
+                reorder = "jaccard"
+            return Candidate(
+                block_shape=config.resolved_precision().block_shape,
+                reorder=reorder,
+                kernel="smat",
+            )
         return Candidate(
-            block_shape=config.resolved_precision().block_shape, reorder=reorder
+            block_shape=config.resolved_precision().block_shape,
+            reorder="identity",
+            kernel=kernel,
         )
 
     # -- search ---------------------------------------------------------------
@@ -284,52 +347,95 @@ class Tuner:
         default = self._default_candidate(base)
 
         start = time.perf_counter()
-        # one O(nnz) block-count pass per distinct shape, shared by every
-        # candidate using it
+        # one O(nnz) block-count pass per distinct SMaT shape, shared by
+        # every candidate using it (non-SMaT backends price their own
+        # work measure inside estimate_candidate)
         block_counts = {
-            shape: count_blocks(A, shape) for shape in {c.block_shape for c in space}
+            shape: count_blocks(A, shape)
+            for shape in {c.block_shape for c in space if c.kernel == "smat"}
         }
-        outcomes = [
-            CandidateOutcome(
-                candidate=cand,
-                estimate=estimate_candidate(
+        outcomes = []
+        for cand in space:
+            try:
+                estimate = estimate_candidate(
                     A,
                     base,
                     cand.block_shape,
                     reorders=cand.reorder not in ("identity", "none"),
                     n_cols=self.n_cols,
-                    blocks_now=block_counts[cand.block_shape],
-                ),
-            )
-            for cand in space
-        ]
+                    blocks_now=block_counts.get(cand.block_shape),
+                    kernel=cand.kernel,
+                )
+                outcomes.append(CandidateOutcome(candidate=cand, estimate=estimate))
+            except KernelUnsupportedError as exc:
+                # the backend cannot even run the calibration samples:
+                # keep the candidate in the table, but never measure it
+                outcomes.append(
+                    CandidateOutcome(
+                        candidate=cand,
+                        estimate=_UNSUPPORTED_ESTIMATE,
+                        unsupported=True,
+                        error=str(exc),
+                    )
+                )
 
         # prune: a candidate whose *optimistic* time cannot beat the best
         # *guaranteed* time of the space can never win
-        best_guaranteed = min(o.estimate.guaranteed_s for o in outcomes)
+        supported = [o for o in outcomes if not o.unsupported]
         viable = []
-        for outcome in outcomes:
-            if outcome.estimate.optimistic_s <= best_guaranteed * PRUNE_SLACK:
-                viable.append(outcome)
-            else:
-                outcome.pruned = True
+        if supported:
+            best_guaranteed = min(o.estimate.guaranteed_s for o in supported)
+            for outcome in supported:
+                if outcome.estimate.optimistic_s <= best_guaranteed * PRUNE_SLACK:
+                    viable.append(outcome)
+                else:
+                    outcome.pruned = True
 
-        # measurement budget: best-predicted first; the default is always in
+        # measurement budget: the default anchor first (it must always be
+        # measured), then best-predicted candidates until max_measure
+        # *successful* measurements -- a candidate that turns out
+        # unsupported at build time frees its slot for the next-best one
         viable.sort(key=lambda o: o.estimate.optimistic_s)
-        to_measure = viable[: self.max_measure]
-        default_outcome = next(o for o in outcomes if o.candidate == default)
-        if default_outcome not in to_measure:
-            if len(to_measure) >= self.max_measure and to_measure:
-                to_measure.pop()
-            default_outcome.pruned = False
-            to_measure.append(default_outcome)
-
         rng = np.random.default_rng(self.seed)
         B = rng.normal(size=(A.ncols, self.n_cols)).astype(np.float32)
-        for outcome in to_measure:
+        default_outcome = next(o for o in outcomes if o.candidate == default)
+        measured_count = 0
+        if not default_outcome.unsupported:
+            self._measure(A, base, default_outcome, B)
+            measured_count += int(default_outcome.measured)
+        for outcome in viable:
+            if outcome is default_outcome:
+                continue
+            if measured_count >= self.max_measure:
+                break
             self._measure(A, base, outcome, B)
+            measured_count += int(outcome.measured)
+
+        if measured_count < self.max_measure and any(o.unsupported for o in viable):
+            # a candidate the model admitted turned out unsupported at
+            # build time -- its (invalid) prediction may also have pruned
+            # genuinely viable candidates, so refill the freed budget
+            # from the pruned pool, best-predicted first
+            for outcome in sorted(
+                (o for o in outcomes if o.pruned and not o.unsupported),
+                key=lambda o: o.estimate.optimistic_s,
+            ):
+                if measured_count >= self.max_measure:
+                    break
+                self._measure(A, base, outcome, B)
+                measured_count += int(outcome.measured)
 
         measured = [o for o in outcomes if o.measured]
+        if not measured:
+            # every candidate's backend refused the matrix (possible only
+            # when the menu was pinned to unsupported backends); surface
+            # it as the kernel error so the engine's fallback engages
+            errors = "; ".join(
+                f"{o.candidate.label}: {o.error}" for o in outcomes if o.unsupported
+            )
+            raise KernelUnsupportedError(
+                f"no tuning candidate could run on this matrix ({errors})"
+            )
         # select by measured device time; prefer the default on exact ties
         best = min(
             measured,
@@ -357,7 +463,15 @@ class Tuner:
     ) -> None:
         cfg = outcome.candidate.expand(base)
         start = time.perf_counter()
-        plan = ExecutionPlan.build(A, cfg)
+        try:
+            plan = ExecutionPlan.build(A, cfg)
+        except KernelUnsupportedError as exc:
+            # the backend refuses *this* matrix (e.g. Magicube's memory
+            # gate): skip the candidate instead of crashing the search
+            outcome.unsupported = True
+            outcome.error = str(exc)
+            outcome.pruned = False
+            return
         outcome.preprocess_ms = 1e3 * (time.perf_counter() - start)
         wall = float("inf")
         simulated = float("inf")
@@ -389,6 +503,7 @@ class Tuner:
                     reorder=str(entry["reorder"]),
                     reorder_columns=bool(entry.get("reorder_columns", False)),
                     reorder_params=dict(entry.get("reorder_params", {})),
+                    kernel=str(entry.get("kernel", "smat")),
                 )
                 return cand.expand(base)
         return self.tune(A, base, store=True).best_config

@@ -14,6 +14,14 @@ matrix: the cross product of
   rejects (off by default; enable it to re-test that conclusion on a new
   matrix).
 
+With ``kernel="auto"`` the space additionally grows a **backend axis**:
+one candidate per registered baseline library (cuSPARSE, DASP, Magicube,
+cuBLAS) rides along with the SMaT block x reordering cross product, so
+the search discovers the per-matrix library winner -- the paper's central
+comparative result (Figures 8-10) -- automatically.  Non-blocked backends
+contribute a single candidate each, because the block shape and the
+reordering only affect the BCSR kernel.
+
 Each point of the space is a :class:`Candidate`; ``expand`` turns a base
 :class:`~repro.core.config.SMaTConfig` into the concrete configuration to
 build an :class:`~repro.core.plan.ExecutionPlan` from.
@@ -26,8 +34,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import SMaTConfig
 from ..gpu import Precision, get_precision
+from ..kernels import KERNEL_REGISTRY
 
-__all__ = ["Candidate", "block_shape_menu", "candidate_space", "DEFAULT_REORDERERS"]
+__all__ = [
+    "Candidate",
+    "backend_menu",
+    "block_shape_menu",
+    "candidate_space",
+    "DEFAULT_REORDERERS",
+]
 
 #: reordering algorithms searched by default (the Section IV-C ablation
 #: set; hypergraph is excluded from the default budget because its
@@ -44,10 +59,16 @@ class Candidate:
     reorder: str
     reorder_columns: bool = False
     reorder_params: Dict[str, object] = field(default_factory=dict, hash=False)
+    #: execution backend of this candidate (registry key)
+    kernel: str = "smat"
 
     @property
     def label(self) -> str:
         """Compact display name used by the CLI search table."""
+        if self.kernel != "smat":
+            # block shape and reordering do not apply to non-blocked
+            # backends; the library name is the whole story
+            return self.kernel
         h, w = self.block_shape
         cols = "+cols" if self.reorder_columns else ""
         params = (
@@ -63,6 +84,7 @@ class Candidate:
         ``base``."""
         return replace(
             base,
+            kernel=self.kernel,
             block_shape=self.block_shape,
             reorder=self.reorder,
             reorder_columns=self.reorder_columns,
@@ -91,18 +113,37 @@ def block_shape_menu(precision) -> List[Tuple[int, int]]:
     return menu
 
 
+def backend_menu(config: Optional[SMaTConfig] = None) -> List[str]:
+    """The backends one tuning search considers.
+
+    ``kernel="auto"`` opens the full registry (SMaT plus every baseline
+    library); a concrete kernel pins the menu to that single backend.
+    """
+    config = config or SMaTConfig()
+    requested = config.resolved_kernel()
+    if requested == "auto":
+        # smat first: budget-limited searches must always contain the
+        # paper's default configuration
+        return ["smat"] + sorted(k for k in KERNEL_REGISTRY if k != "smat")
+    return [requested]
+
+
 def candidate_space(
     config: Optional[SMaTConfig] = None,
     *,
     block_shapes: Optional[Sequence[Tuple[int, int]]] = None,
     reorderers: Sequence[str] = DEFAULT_REORDERERS,
     include_column_permutation: bool = False,
+    kernels: Optional[Sequence[str]] = None,
 ) -> List[Candidate]:
     """Enumerate the candidate configurations for one tuning search.
 
-    The paper's default configuration (MMA-matched block shape, Jaccard
-    row reordering) is always a member of the returned space, so a search
-    over it can never select something worse than the default.
+    With a SMaT backend in the menu, the paper's default configuration
+    (MMA-matched block shape, Jaccard row reordering) is always a member
+    of the returned space, so a search over it can never select something
+    worse than the default.  ``kernels`` overrides the backend menu
+    (default: :func:`backend_menu` of the config -- the full registry for
+    ``kernel="auto"``, a single backend otherwise).
     """
     config = config or SMaTConfig()
     precision = config.resolved_precision()
@@ -114,23 +155,45 @@ def candidate_space(
     names = [r.strip().lower() for r in reorderers if r and r.strip()]
     if not names:
         raise ValueError("candidate space needs at least one reordering algorithm")
+    backends = [k.strip().lower() for k in kernels] if kernels else backend_menu(config)
+    if not backends:
+        raise ValueError("candidate space needs at least one kernel backend")
+    unknown = [k for k in backends if k not in KERNEL_REGISTRY]
+    if unknown:
+        raise ValueError(
+            f"unknown kernel backend(s) {unknown}; available: {sorted(KERNEL_REGISTRY)}"
+        )
 
     space: List[Candidate] = []
     seen = set()
-    for shape in shapes:
-        for name in names:
-            key = (shape, name, False)
-            if key not in seen:
-                seen.add(key)
-                space.append(Candidate(block_shape=shape, reorder=name))
-    if include_column_permutation:
-        # the paper's rejected row+column variant, re-tested on the
-        # default shape only (permuting B is what makes it costly)
-        for name in names:
-            if name not in ("identity", "none"):
-                space.append(
-                    Candidate(
-                        block_shape=shapes[0], reorder=name, reorder_columns=True
+    for backend in backends:
+        if not KERNEL_REGISTRY[backend].wants_reordering:
+            # block shape and reordering only affect the blocked kernel;
+            # one candidate covers the whole library
+            cand = Candidate(
+                block_shape=precision.block_shape, reorder="identity", kernel=backend
+            )
+            if (backend,) not in seen:
+                seen.add((backend,))
+                space.append(cand)
+            continue
+        for shape in shapes:
+            for name in names:
+                key = (backend, shape, name, False)
+                if key not in seen:
+                    seen.add(key)
+                    space.append(Candidate(block_shape=shape, reorder=name, kernel=backend))
+        if include_column_permutation:
+            # the paper's rejected row+column variant, re-tested on the
+            # default shape only (permuting B is what makes it costly)
+            for name in names:
+                if name not in ("identity", "none"):
+                    space.append(
+                        Candidate(
+                            block_shape=shapes[0],
+                            reorder=name,
+                            reorder_columns=True,
+                            kernel=backend,
+                        )
                     )
-                )
     return space

@@ -16,7 +16,7 @@ workload).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 import numpy as np
@@ -58,6 +58,8 @@ class WorkloadReport:
     tol: float = 0.0
     sharded: bool = False
     tuned: bool = False
+    #: requested execution backend (``"auto"`` = the tuner's per-matrix choice)
+    kernel: str = "smat"
     setup_ms: float = 0.0
     records: List[IterationRecord] = field(default_factory=list)
 
@@ -176,6 +178,10 @@ class SpMMOperator:
         engine raises, mirroring :class:`~repro.shard.ShardedSpMM`).
     config:
         Pipeline configuration for the plan (default engine config).
+    kernel:
+        Execution backend for every multiply (``"smat"``, ``"cusparse"``,
+        ``"dasp"``, ``"magicube"``, ``"cublas"``, or ``"auto"`` for the
+        per-matrix tuner choice); overrides the backend of ``config``.
     tune:
         Build the plan through the auto-tuner (owned engines only).
     sharded:
@@ -193,6 +199,7 @@ class SpMMOperator:
         *,
         engine: Optional[SpMMEngine] = None,
         config: Optional[SMaTConfig] = None,
+        kernel: Optional[str] = None,
         tune: bool = False,
         sharded: bool = False,
         grid=4,
@@ -202,6 +209,11 @@ class SpMMOperator:
         if not isinstance(A, CSRMatrix):
             raise TypeError("SpMMOperator expects a repro.formats.CSRMatrix input")
         self.A = A
+        if kernel is not None:
+            # override only the backend, inheriting every other knob from
+            # the explicit config or the (possibly borrowed) engine's
+            base = config if config is not None else (engine.config if engine else SMaTConfig())
+            config = replace(base, kernel=kernel).validate()
         self.config = config
         self.sharded = bool(sharded)
         self.grid = grid
@@ -218,6 +230,7 @@ class SpMMOperator:
             raise ValueError("pass tune=True to the engine itself when providing one")
         self.engine = engine
         self.tuned = engine.tuner is not None
+        self.kernel = (self.config or engine.config).resolved_kernel()
 
     def new_report(self, workload: str, *, tol: float = 0.0) -> WorkloadReport:
         """A :class:`WorkloadReport` pre-filled with this operator's context."""
@@ -228,6 +241,7 @@ class SpMMOperator:
             tol=float(tol),
             sharded=self.sharded,
             tuned=self.tuned,
+            kernel=self.kernel,
         )
 
     def matmul(self, B: np.ndarray, report: Optional[WorkloadReport] = None) -> np.ndarray:

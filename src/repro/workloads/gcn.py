@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -47,6 +47,7 @@ def gcn_forward(
     final_activation: bool = False,
     engine=None,
     config=None,
+    kernel: Optional[str] = None,
     tune: bool = False,
     sharded: bool = False,
     grid=4,
@@ -89,6 +90,7 @@ def gcn_forward(
         a_hat,
         engine=engine,
         config=config,
+        kernel=kernel,
         tune=tune,
         sharded=sharded,
         grid=grid,

@@ -89,6 +89,7 @@ def pagerank(
     personalization: Optional[np.ndarray] = None,
     engine=None,
     config=None,
+    kernel: Optional[str] = None,
     tune: bool = False,
     sharded: bool = False,
     grid=4,
@@ -142,6 +143,7 @@ def pagerank(
         M,
         engine=engine,
         config=config,
+        kernel=kernel,
         tune=tune,
         sharded=sharded,
         grid=grid,
@@ -175,6 +177,7 @@ def power_iteration(
     x0: Optional[np.ndarray] = None,
     engine=None,
     config=None,
+    kernel: Optional[str] = None,
     tune: bool = False,
     sharded: bool = False,
     grid=4,
@@ -207,6 +210,7 @@ def power_iteration(
         A,
         engine=engine,
         config=config,
+        kernel=kernel,
         tune=tune,
         sharded=sharded,
         grid=grid,

@@ -101,6 +101,7 @@ def jacobi_smoother(
     x0: Optional[np.ndarray] = None,
     engine=None,
     config=None,
+    kernel: Optional[str] = None,
     tune: bool = False,
     sharded: bool = False,
     grid=4,
@@ -126,6 +127,7 @@ def jacobi_smoother(
         A,
         engine=engine,
         config=config,
+        kernel=kernel,
         tune=tune,
         sharded=sharded,
         grid=grid,
@@ -156,6 +158,7 @@ def chebyshev_smoother(
     x0: Optional[np.ndarray] = None,
     engine=None,
     config=None,
+    kernel: Optional[str] = None,
     tune: bool = False,
     sharded: bool = False,
     grid=4,
@@ -186,6 +189,7 @@ def chebyshev_smoother(
         A,
         engine=engine,
         config=config,
+        kernel=kernel,
         tune=tune,
         sharded=sharded,
         grid=grid,

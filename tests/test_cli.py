@@ -268,3 +268,57 @@ class TestCommands:
         ])
         assert code == 0
         assert "speedup" in capsys.readouterr().out
+
+    def test_kernels_listing(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "smat" in out and "cublas" in out
+        assert "bcsr" in out and "dense" in out
+        assert "cost_model" in out
+
+    def test_compare_engine_flag_reports_warm_pass(self, capsys):
+        code = main([
+            "compare", "--matrix", "dc2", "--scale", "0.03", "--n", "4",
+            "--libraries", "smat,cusparse", "--engine",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cold_wall_ms" in out and "warm_wall_ms" in out
+        assert "served from the plan cache" in out
+        assert "backend" in out
+
+    def test_compare_tune_flag_adds_auto_row(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TUNING_CACHE", str(tmp_path / "t.json"))
+        code = main([
+            "compare", "--matrix", "dc2", "--scale", "0.03", "--n", "4",
+            "--libraries", "smat", "--tune",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "auto(" in out
+
+    def test_tune_command_kernel_auto(self, capsys):
+        code = main([
+            "tune", "--matrix", "dc2", "--scale", "0.03", "--n", "4",
+            "--budget", "3", "--reorderers", "identity,jaccard",
+            "--kernel", "auto", "--no-cache",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        assert "cublas" in out or "cusparse" in out  # backend rows in the table
+
+    def test_workload_kernel_flag(self, capsys):
+        code = main([
+            "workload", "--workload", "pagerank", "--matrix", "dc2",
+            "--scale", "0.03", "--iters", "5", "--kernel", "cusparse",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pagerank" in out and "amortization" in out
+
+    def test_workload_bad_kernel_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["workload", "--kernel", "tensorrt"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
