@@ -31,6 +31,7 @@ from . import (
     kernels,
     matrices,
     reorder,
+    serve,
     shard,
     tuner,
     workloads,
@@ -47,6 +48,7 @@ from .core import (
     compare_libraries,
 )
 from .engine import SpMMEngine
+from .serve import SpMMClient, SpMMServer
 from .formats import BCSRMatrix, COOMatrix, CSCMatrix, CSRMatrix, DenseMatrix, SRBCRSMatrix
 from .shard import ShardedSpMM
 from .tuner import Tuner, TuningCache, TuningResult
@@ -68,6 +70,8 @@ __all__ = [
     "SMaT",
     "SMaTConfig",
     "SpMMEngine",
+    "SpMMServer",
+    "SpMMClient",
     "ShardedSpMM",
     "Tuner",
     "TuningResult",
@@ -102,6 +106,7 @@ __all__ = [
     "kernels",
     "core",
     "engine",
+    "serve",
     "shard",
     "tuner",
     "workloads",

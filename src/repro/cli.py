@@ -27,6 +27,9 @@ script:
   runs an iterative SpMM application (PageRank, power iteration, GCN
   forward pass, Jacobi / Chebyshev smoother) on the engine and prints the
   convergence table plus the plan-amortisation ratio;
+* ``python -m repro serve --port 8942`` starts the SpMM-as-a-service HTTP
+  daemon (register matrices by fingerprint, then multiply over JSON; see
+  ``docs/serving.md`` for the operations manual);
 * ``python -m repro matrices`` lists the available Table-I stand-ins;
 * ``python -m repro kernels`` lists the execution backends (name, internal
   format, cost-model summary) selectable via ``kernel=`` / ``--kernel``.
@@ -285,6 +288,67 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("nnz", "cost"),
         default="nnz",
         help="shard balancing mode when --sharded",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the SpMM-as-a-service HTTP daemon"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8942, help="bind port (0 picks an ephemeral port)"
+    )
+    p_serve.add_argument(
+        "--workers", type=_positive_int, default=4, help="engine worker threads"
+    )
+    p_serve.add_argument(
+        "--cache-size", type=_positive_int, default=32, help="plan-cache capacity"
+    )
+    p_serve.add_argument(
+        "--kernel",
+        choices=("smat", "cusparse", "dasp", "magicube", "cublas", "auto"),
+        default="smat",
+        help="default execution backend (requests may override per call)",
+    )
+    p_serve.add_argument("--reorder", default="jaccard", help="default preprocessing algorithm")
+    p_serve.add_argument(
+        "--tune",
+        action="store_true",
+        help="build every plan through the auto-tuner",
+    )
+    p_serve.add_argument(
+        "--token",
+        action="append",
+        default=[],
+        metavar="NAME=TOKEN",
+        help="tenant token 'name=token' or 'name:max_matrices:max_plans=token'; "
+        "repeatable; no tokens = open (anonymous) mode",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=None,
+        help="concurrent executions admitted (default: worker count)",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="requests allowed to wait for an execution slot before 429",
+    )
+    p_serve.add_argument(
+        "--max-body-mb",
+        type=_positive_int,
+        default=64,
+        help="request-body size limit in MiB (larger uploads get 413)",
+    )
+    p_serve.add_argument(
+        "--registry-capacity",
+        type=_positive_int,
+        default=256,
+        help="global cap on distinct registered matrices",
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true", help="suppress the JSON request log on stderr"
     )
 
     sub.add_parser("matrices", help="list the Table-I stand-ins")
@@ -622,6 +686,45 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import sys
+
+    from .serve import SpMMServer, parse_token_specs
+
+    try:
+        tokens = parse_token_specs(args.token)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = SpMMServer(
+        SMaTConfig(kernel=args.kernel, reorder=args.reorder),
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        max_workers=args.workers,
+        tune=args.tune,
+        tokens=tokens,
+        registry_capacity=args.registry_capacity,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        max_body_bytes=args.max_body_mb * 1024 * 1024,
+        log_stream=None if args.quiet else sys.stderr,
+    )
+    mode = f"{len(tokens)} tenant(s)" if tokens else "open (anonymous) mode"
+    print(
+        f"serving SpMM on {server.url} [{mode}, {args.workers} workers, "
+        f"kernel={args.kernel}]; Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_kernels(_args) -> int:
     from .kernels import kernel_info
 
@@ -658,6 +761,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tune": _cmd_tune,
         "shard": _cmd_shard,
         "workload": _cmd_workload,
+        "serve": _cmd_serve,
         "matrices": _cmd_matrices,
         "kernels": _cmd_kernels,
     }

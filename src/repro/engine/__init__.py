@@ -22,7 +22,14 @@ Quick start
 """
 
 from .cache import CacheStats, PlanCache
-from .engine import BatchItem, BatchOutcome, BatchResult, BatchSummary, SpMMEngine
+from .engine import (
+    BatchItem,
+    BatchOutcome,
+    BatchResult,
+    BatchSummary,
+    EngineTelemetry,
+    SpMMEngine,
+)
 
 __all__ = [
     "SpMMEngine",
@@ -30,6 +37,7 @@ __all__ = [
     "BatchResult",
     "BatchSummary",
     "BatchOutcome",
+    "EngineTelemetry",
     "PlanCache",
     "CacheStats",
 ]

@@ -49,7 +49,14 @@ from ..core.plan import ExecutionPlan, MultiplyReport, build_with_fallback, plan
 from ..formats import CSRMatrix
 from .cache import CacheStats, PlanCache
 
-__all__ = ["BatchItem", "BatchResult", "BatchSummary", "BatchOutcome", "SpMMEngine"]
+__all__ = [
+    "BatchItem",
+    "BatchResult",
+    "BatchSummary",
+    "BatchOutcome",
+    "EngineTelemetry",
+    "SpMMEngine",
+]
 
 
 @dataclass
@@ -118,6 +125,24 @@ class BatchOutcome:
         return self.results[index]
 
 
+@dataclass
+class EngineTelemetry:
+    """Point-in-time operational counters of one engine.
+
+    ``queue_depth`` counts submitted-but-unfinished work (the async
+    ticket backlog); the latency percentiles summarise the most recent
+    per-item wall times (bounded window, so long-lived engines report
+    *current* behaviour, not lifetime averages).  The serving daemon's
+    ``/metrics`` endpoint republishes this snapshot.
+    """
+
+    completed: int
+    queue_depth: int
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+
+
 #: work accepted by :meth:`SpMMEngine.multiply_batch`
 WorkItem = Union[BatchItem, Tuple[CSRMatrix, np.ndarray]]
 
@@ -154,6 +179,10 @@ class SpMMEngine:
         Engines pointing at the same path share search results -- also
         across processes.  Passing ``tuning_cache`` (like ``tuner``)
         implies ``tune=True``.
+    latency_window:
+        Number of recent per-item wall times retained for the
+        :meth:`telemetry` latency percentiles (default 1024): bounded, so
+        long-lived engines report current behaviour in O(1) memory.
     """
 
     def __init__(
@@ -165,9 +194,12 @@ class SpMMEngine:
         tune: bool = False,
         tuner=None,
         tuning_cache=None,
+        latency_window: int = 1024,
     ):
         if max_workers < 1:
             raise ValueError("SpMMEngine needs at least one worker thread")
+        if latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
         self.config = (config or SMaTConfig()).validate()
         self.max_workers = int(max_workers)
         if tuner is not None or tuning_cache is not None:
@@ -183,6 +215,9 @@ class SpMMEngine:
         self._ticket_lock = threading.Lock()
         self._next_ticket = 0
         self._closed = False
+        self._telemetry_lock = threading.Lock()
+        self._latencies: "deque[float]" = deque(maxlen=latency_window)
+        self._completed = 0
 
     # -- plan management ------------------------------------------------------
     def plan_for(self, A: CSRMatrix, config: Optional[SMaTConfig] = None) -> ExecutionPlan:
@@ -256,8 +291,33 @@ class SpMMEngine:
         plan, hit = self._plan_with_hit(item.A, item.config)
         C, report = plan.execute(item.B, keep_permuted=item.keep_permuted)
         wall_ms = 1e3 * (time.perf_counter() - start)
+        with self._telemetry_lock:
+            self._latencies.append(wall_ms)
+            self._completed += 1
         return BatchResult(
             index=index, tag=item.tag, C=C, report=report, cache_hit=hit, wall_ms=wall_ms
+        )
+
+    def execute_one(
+        self,
+        A: CSRMatrix,
+        B: np.ndarray,
+        *,
+        tag: Optional[object] = None,
+        config: Optional[SMaTConfig] = None,
+        keep_permuted: bool = False,
+    ) -> BatchResult:
+        """Execute one multiply synchronously and return the full
+        :class:`BatchResult` (cache-hit flag + wall time included).
+
+        Like :meth:`multiply`, but with the per-item bookkeeping a
+        serving front end needs -- the HTTP daemon
+        (:mod:`repro.serve`) reports ``cache_hit`` and ``wall_ms`` per
+        request from this.
+        """
+        self._require_open()
+        return self._execute_item(
+            0, BatchItem(A, B, tag=tag, config=config, keep_permuted=keep_permuted)
         )
 
     # -- batched execution ----------------------------------------------------
@@ -452,6 +512,33 @@ class SpMMEngine:
         """Number of submitted tickets not yet collected."""
         with self._ticket_lock:
             return len(self._tickets)
+
+    def queue_depth(self) -> int:
+        """Number of submitted tickets whose work has not finished yet
+        (the async backlog; collected-or-not does not matter)."""
+        with self._ticket_lock:
+            return sum(1 for f in self._tickets.values() if not f.done())
+
+    def telemetry(self) -> EngineTelemetry:
+        """Operational snapshot: items completed, async queue depth, and
+        latency percentiles over the recent-latency window."""
+        with self._telemetry_lock:
+            completed = self._completed
+            window = list(self._latencies)
+        if window:
+            lat = np.asarray(window, dtype=np.float64)
+            mean_ms = float(lat.mean())
+            p50_ms = float(np.percentile(lat, 50))
+            p99_ms = float(np.percentile(lat, 99))
+        else:
+            mean_ms = p50_ms = p99_ms = 0.0
+        return EngineTelemetry(
+            completed=completed,
+            queue_depth=self.queue_depth(),
+            mean_ms=mean_ms,
+            p50_ms=p50_ms,
+            p99_ms=p99_ms,
+        )
 
     # -- streaming ------------------------------------------------------------
     def stream(

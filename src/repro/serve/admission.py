@@ -1,0 +1,114 @@
+"""Bounded admission control: shed load instead of queueing unboundedly.
+
+A serving daemon in front of a CPU-bound engine degrades badly under
+overload if every request is allowed to pile onto the worker pool: queue
+time grows without bound and *every* request times out.  The admission
+controller caps the damage with two numbers:
+
+* ``max_inflight`` -- requests executing concurrently (sized to the
+  engine's worker pool);
+* ``max_queue`` -- requests allowed to *wait* for an execution slot.
+
+A request that cannot get a slot within ``queue_timeout_s`` -- or that
+arrives when the wait queue is already full -- is rejected immediately
+with 429 and a ``Retry-After`` hint, which keeps latency bounded for the
+requests that are admitted (the classic load-shedding trade).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator
+
+from .errors import Overloaded
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Counting-semaphore admission with a bounded wait queue."""
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue: int = 16,
+        *,
+        queue_timeout_s: float = 0.25,
+        retry_after_s: float = 1.0,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self.queue_timeout_s = float(queue_timeout_s)
+        self.retry_after_s = float(retry_after_s)
+        self._slots = threading.Semaphore(self.max_inflight)
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._queued = 0
+        self._rejected = 0
+
+    @contextlib.contextmanager
+    def admit(self) -> Iterator[None]:
+        """Hold one execution slot for the duration of the ``with`` body.
+
+        Raises :class:`~repro.serve.errors.Overloaded` when no slot frees
+        up within the queue timeout, or when the wait queue is full.
+        """
+        if not self._slots.acquire(blocking=False):
+            with self._lock:
+                if self._queued >= self.max_queue:
+                    self._rejected += 1
+                    raise Overloaded(
+                        f"server at capacity ({self._inflight} in flight, "
+                        f"{self._queued} queued)",
+                        retry_after=self.retry_after_s,
+                    )
+                self._queued += 1
+            try:
+                acquired = self._slots.acquire(timeout=self.queue_timeout_s)
+            finally:
+                with self._lock:
+                    self._queued -= 1
+            if not acquired:
+                with self._lock:
+                    self._rejected += 1
+                raise Overloaded(
+                    f"no execution slot freed within {self.queue_timeout_s:.2f}s",
+                    retry_after=self.retry_after_s,
+                )
+        with self._lock:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1
+            self._slots.release()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding an execution slot."""
+        with self._lock:
+            return self._inflight
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for a slot."""
+        with self._lock:
+            return self._queued
+
+    @property
+    def depth(self) -> int:
+        """Total admission pressure (in flight + waiting)."""
+        with self._lock:
+            return self._inflight + self._queued
+
+    @property
+    def rejected(self) -> int:
+        """Requests shed with 429 so far."""
+        with self._lock:
+            return self._rejected

@@ -1,0 +1,143 @@
+"""Token authentication and per-tenant quotas.
+
+The daemon is multi-tenant: every request carries a bearer token
+(``Authorization: Bearer <token>``) that resolves to a :class:`Tenant`
+with its own quotas -- how many distinct matrices it may keep registered
+and how many distinct plan-cache entries its traffic may create.  With
+no tokens configured the server runs **open**: every request maps to one
+shared anonymous tenant (convenient for local use and the docs suite;
+production deployments pass ``tokens=``).
+
+Quota accounting lives here too: :class:`PlanQuota` tracks the distinct
+plan keys each tenant's multiplies have touched, so one tenant cannot
+monopolise the shared plan cache by cycling configurations.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Optional, Set, Union
+
+from .errors import QuotaExceeded, Unauthorized
+
+__all__ = ["Tenant", "Authenticator", "PlanQuota", "parse_token_specs"]
+
+#: default per-tenant quota of distinct registered matrices
+DEFAULT_MAX_MATRICES = 32
+#: default per-tenant quota of distinct plan-cache keys
+DEFAULT_MAX_PLANS = 64
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One authenticated principal and its quotas."""
+
+    name: str
+    max_matrices: int = DEFAULT_MAX_MATRICES
+    max_plans: int = DEFAULT_MAX_PLANS
+
+
+#: the shared principal used when the server runs without tokens
+ANONYMOUS = Tenant("anonymous")
+
+
+class Authenticator:
+    """Resolve bearer tokens to tenants.
+
+    Parameters
+    ----------
+    tokens:
+        Mapping of token to :class:`Tenant` (or to a plain tenant name,
+        which gets default quotas).  ``None`` or empty selects open mode:
+        every request -- with or without a token -- resolves to the
+        shared :data:`ANONYMOUS` tenant.
+    """
+
+    def __init__(self, tokens: Optional[Dict[str, Union[Tenant, str]]] = None):
+        self._tenants: Dict[str, Tenant] = {}
+        for token, tenant in (tokens or {}).items():
+            if isinstance(tenant, str):
+                tenant = Tenant(tenant)
+            self._tenants[str(token)] = tenant
+
+    @property
+    def open(self) -> bool:
+        """Whether the server accepts unauthenticated requests."""
+        return not self._tenants
+
+    def authenticate(self, authorization: Optional[str]) -> Tenant:
+        """Resolve an ``Authorization`` header value to a tenant.
+
+        Raises :class:`~repro.serve.errors.Unauthorized` on a missing,
+        malformed, or unknown token (unless the server is open).
+        """
+        if self.open:
+            return ANONYMOUS
+        if not authorization:
+            raise Unauthorized("missing Authorization header (expected a bearer token)")
+        scheme, _, token = authorization.partition(" ")
+        if scheme.lower() != "bearer" or not token.strip():
+            raise Unauthorized("malformed Authorization header (expected 'Bearer <token>')")
+        tenant = self._tenants.get(token.strip())
+        if tenant is None:
+            raise Unauthorized("unknown token")
+        return tenant
+
+
+class PlanQuota:
+    """Per-tenant ledger of distinct plan-cache keys.
+
+    A multiply that would *create* a new plan key for a tenant already at
+    its ``max_plans`` quota is rejected with a 429 before any build work
+    happens; re-using an already-charged key is always free.  Thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self._keys: Dict[str, Set[Hashable]] = {}
+        self._lock = threading.Lock()
+
+    def charge(self, tenant: Tenant, key: Hashable, *, retry_after: float = 1.0) -> None:
+        """Charge one plan key against a tenant's quota (idempotent per
+        key); raises :class:`~repro.serve.errors.QuotaExceeded` when the
+        key is new and the tenant is at quota."""
+        with self._lock:
+            used = self._keys.setdefault(tenant.name, set())
+            if key in used:
+                return
+            if len(used) >= tenant.max_plans:
+                raise QuotaExceeded(
+                    f"tenant {tenant.name!r} reached its plan-cache quota "
+                    f"({tenant.max_plans} distinct plans)",
+                    retry_after=retry_after,
+                )
+            used.add(key)
+
+    def used(self, tenant_name: str) -> int:
+        """Distinct plan keys charged to one tenant so far."""
+        with self._lock:
+            return len(self._keys.get(tenant_name, ()))
+
+
+def parse_token_specs(specs: Iterable[str]) -> Dict[str, Tenant]:
+    """Parse CLI ``--token name=token`` pairs into an authenticator map.
+
+    The tenant name may carry quota overrides as
+    ``name:max_matrices:max_plans`` (e.g. ``alice:4:16=sekret``).
+    """
+    tokens: Dict[str, Tenant] = {}
+    for spec in specs:
+        name, sep, token = spec.partition("=")
+        if not sep or not name or not token:
+            raise ValueError(f"token spec {spec!r} is not of the form name=token")
+        parts = name.split(":")
+        if len(parts) == 1:
+            tenant = Tenant(parts[0])
+        elif len(parts) == 3:
+            tenant = Tenant(parts[0], max_matrices=int(parts[1]), max_plans=int(parts[2]))
+        else:
+            raise ValueError(
+                f"token spec {spec!r}: tenant must be 'name' or 'name:max_matrices:max_plans'"
+            )
+        tokens[token] = tenant
+    return tokens

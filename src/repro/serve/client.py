@@ -1,0 +1,209 @@
+"""A minimal stdlib client for the serving daemon.
+
+:class:`SpMMClient` wraps :mod:`urllib.request` so scripts, docs, and
+tests can drive the HTTP surface without any extra dependency -- and
+without hand-rolling the wire format: matrices go up via
+:func:`~repro.serve.wire.encode_csr`, operands via
+:func:`~repro.serve.wire.encode_array`, and results come back as numpy
+arrays.
+
+>>> from repro.serve import SpMMServer, SpMMClient
+>>> with SpMMServer() as server:
+...     client = SpMMClient(server.url)
+...     fp = client.register(A)
+...     C, info = client.multiply(fp, B)
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..formats import CSRMatrix
+from .wire import decode_array, encode_array, encode_csr
+
+__all__ = ["SpMMClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """An error response from the daemon, carrying the HTTP context.
+
+    Attributes
+    ----------
+    status:
+        HTTP status code of the response.
+    code:
+        Machine-readable error code from the JSON envelope (e.g.
+        ``"unauthorized"``, ``"quota_exceeded"``, ``"overloaded"``).
+    retry_after:
+        Parsed ``Retry-After`` header in seconds, when the server sent
+        one (429 responses do).
+    """
+
+    def __init__(
+        self, status: int, code: str, message: str, *, retry_after: Optional[float] = None
+    ):
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = int(status)
+        self.code = code
+        self.retry_after = retry_after
+
+
+class SpMMClient:
+    """Talk to one :class:`~repro.serve.app.SpMMServer` over HTTP.
+
+    Parameters
+    ----------
+    base_url:
+        The server's base URL, e.g. ``"http://127.0.0.1:8942"``.
+    token:
+        Bearer token to send on every request (omit for open servers).
+    timeout:
+        Socket timeout per request, in seconds.
+    """
+
+    def __init__(self, base_url: str, *, token: Optional[str] = None, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.timeout = float(timeout)
+
+    # -- transport ------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Tuple[int, Dict[str, object]]:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        req = urllib.request.Request(self.base_url + path, data=data, method=method)
+        req.add_header("Content-Type", "application/json")
+        if self.token:
+            req.add_header("Authorization", f"Bearer {self.token}")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            raise self._error_from(exc) from None
+
+    @staticmethod
+    def _error_from(exc: urllib.error.HTTPError) -> ServeClientError:
+        code, message = "internal", str(exc)
+        try:
+            envelope = json.loads(exc.read())
+            code = envelope["error"]["code"]
+            message = envelope["error"]["message"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            pass
+        retry_after: Optional[float] = None
+        header = exc.headers.get("Retry-After") if exc.headers else None
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                pass
+        return ServeClientError(exc.code, code, message, retry_after=retry_after)
+
+    # -- endpoints ------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")[1]
+
+    def metrics(self) -> Dict[str, object]:
+        """``GET /metrics``."""
+        return self._request("GET", "/metrics")[1]
+
+    def register(self, A: CSRMatrix) -> str:
+        """Upload a CSR matrix; returns its content fingerprint."""
+        _, payload = self._request("POST", "/matrices", encode_csr(A))
+        return str(payload["fingerprint"])
+
+    def list_matrices(self) -> List[Dict[str, object]]:
+        """This tenant's registrations."""
+        _, payload = self._request("GET", "/matrices")
+        return list(payload["matrices"])
+
+    def multiply(
+        self,
+        fingerprint: str,
+        B: np.ndarray,
+        *,
+        config: Optional[Dict[str, object]] = None,
+    ) -> Tuple[np.ndarray, Dict[str, object]]:
+        """Synchronous multiply; returns ``(C, info)`` where ``info``
+        carries ``cache_hit``, ``wall_ms``, and the execution report."""
+        body: Dict[str, object] = {"fingerprint": fingerprint, "B": encode_array(B)}
+        if config is not None:
+            body["config"] = config
+        _, payload = self._request("POST", "/multiply", body)
+        C = decode_array(payload.pop("C"), field="C")
+        return C, payload
+
+    def submit(
+        self,
+        fingerprint: str,
+        B: np.ndarray,
+        *,
+        config: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Async submit; returns a job id to poll."""
+        body: Dict[str, object] = {"fingerprint": fingerprint, "B": encode_array(B)}
+        if config is not None:
+            body["config"] = config
+        _, payload = self._request("POST", "/jobs", body)
+        return str(payload["job_id"])
+
+    def poll(self, job_id: str) -> Dict[str, object]:
+        """One non-blocking poll of a job; ``status`` is ``"pending"``,
+        ``"done"`` (result attached, consumed), or ``"failed"``."""
+        _, payload = self._request("GET", f"/jobs/{job_id}")
+        if payload.get("status") == "done":
+            payload["C"] = decode_array(payload["C"], field="C")
+        return payload
+
+    def result(self, job_id: str, *, poll_interval: float = 0.02) -> np.ndarray:
+        """Poll until the job finishes and return ``C`` (raises
+        :class:`ServeClientError` on a failed job)."""
+        import time
+
+        while True:
+            payload = self.poll(job_id)
+            if payload["status"] == "done":
+                return payload["C"]
+            if payload["status"] == "failed":
+                raise ServeClientError(200, "job_failed", str(payload.get("error")))
+            time.sleep(poll_interval)
+
+    def stream(
+        self,
+        fingerprint: str,
+        Bs: List[np.ndarray],
+        *,
+        config: Optional[Dict[str, object]] = None,
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Stream many operands; yields ``(index, C)`` in input order.
+
+        The response is NDJSON over chunked transfer encoding;
+        ``http.client`` de-chunks transparently, so each line read is one
+        result record.
+        """
+        body: Dict[str, object] = {
+            "fingerprint": fingerprint,
+            "Bs": [encode_array(B) for B in Bs],
+        }
+        if config is not None:
+            body["config"] = config
+        data = json.dumps(body).encode("utf-8")
+        req = urllib.request.Request(self.base_url + "/stream", data=data, method="POST")
+        req.add_header("Content-Type", "application/json")
+        if self.token:
+            req.add_header("Authorization", f"Bearer {self.token}")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                for line in resp:
+                    record = json.loads(line)
+                    if record.get("done"):
+                        return
+                    yield int(record["index"]), decode_array(record["C"], field="C")
+        except urllib.error.HTTPError as exc:
+            raise self._error_from(exc) from None

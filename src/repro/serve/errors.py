@@ -1,0 +1,80 @@
+"""Typed API errors of the serving daemon.
+
+Every failure the HTTP surface can report is an :class:`ApiError`
+subclass carrying its HTTP status, a stable machine-readable ``code``
+and, for backpressure responses, a ``retry_after`` hint.  Handlers and
+the domain layers (registry, auth, admission) raise these; the request
+loop in :mod:`repro.serve.app` converts them into one uniform JSON error
+envelope ``{"error": {"code": ..., "message": ...}}`` -- clients never
+have to parse prose.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ApiError",
+    "BadRequest",
+    "Unauthorized",
+    "NotFound",
+    "PayloadTooLarge",
+    "QuotaExceeded",
+    "Overloaded",
+]
+
+
+class ApiError(Exception):
+    """Base class: an error with an HTTP status and a stable code."""
+
+    status = 500
+    code = "internal"
+
+    def __init__(self, message: str, *, retry_after: Optional[float] = None):
+        super().__init__(message)
+        #: seconds the client should wait before retrying (429 responses
+        #: surface this as a ``Retry-After`` header)
+        self.retry_after = retry_after
+
+
+class BadRequest(ApiError):
+    """Malformed request: invalid JSON, missing fields, bad array data."""
+
+    status = 400
+    code = "bad_request"
+
+
+class Unauthorized(ApiError):
+    """Missing or unknown bearer token."""
+
+    status = 401
+    code = "unauthorized"
+
+
+class NotFound(ApiError):
+    """Unknown route, fingerprint, or job id (also: not *your* job)."""
+
+    status = 404
+    code = "not_found"
+
+
+class PayloadTooLarge(ApiError):
+    """Request body exceeds the configured size limit."""
+
+    status = 413
+    code = "payload_too_large"
+
+
+class QuotaExceeded(ApiError):
+    """Per-tenant registration or plan-cache quota exhausted."""
+
+    status = 429
+    code = "quota_exceeded"
+
+
+class Overloaded(ApiError):
+    """Admission queue full: the server sheds load instead of queueing
+    unboundedly; retry after ``retry_after`` seconds."""
+
+    status = 429
+    code = "overloaded"

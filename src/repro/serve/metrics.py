@@ -1,0 +1,152 @@
+"""Serving metrics: counters and latency percentiles for ``GET /metrics``.
+
+Everything the daemon knows about its own behaviour is published as one
+JSON document: request counts (total, per endpoint, per tenant, per
+status class), rejection counts by reason (auth / quota / overload /
+payload), bytes ingested, admission-queue depth, request-latency
+percentiles over a bounded recent window, and the pass-through snapshots
+of the engine (:meth:`~repro.engine.SpMMEngine.telemetry`) and its plan
+cache.  All counters are monotonic since process start -- scrape twice
+and diff, exactly like any other counter-based metrics endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["LatencyWindow", "ServerMetrics"]
+
+
+class LatencyWindow:
+    """Bounded reservoir of recent latencies with percentile snapshots."""
+
+    def __init__(self, maxlen: int = 2048):
+        self._window: "deque[float]" = deque(maxlen=maxlen)
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def record(self, wall_ms: float) -> None:
+        """Add one observation (milliseconds)."""
+        with self._lock:
+            self._window.append(float(wall_ms))
+            self._count += 1
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-ready summary: count plus mean/p50/p99 over the window."""
+        with self._lock:
+            count = self._count
+            window = list(self._window)
+        if not window:
+            return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p99_ms": 0.0}
+        lat = np.asarray(window, dtype=np.float64)
+        return {
+            "count": count,
+            "mean_ms": float(lat.mean()),
+            "p50_ms": float(np.percentile(lat, 50)),
+            "p99_ms": float(np.percentile(lat, 99)),
+        }
+
+
+class ServerMetrics:
+    """Thread-safe counters behind the ``/metrics`` endpoint."""
+
+    def __init__(self, latency_window: int = 2048):
+        self._started = time.time()
+        self._lock = threading.Lock()
+        self._requests_total = 0
+        self._by_endpoint: "Counter[str]" = Counter()
+        self._by_tenant: "Counter[str]" = Counter()
+        self._by_status: "Counter[str]" = Counter()
+        self._rejected: "Counter[str]" = Counter()
+        self._bytes_in = 0
+        self._results_streamed = 0
+        self.latency = LatencyWindow(latency_window)
+
+    def record_request(
+        self,
+        *,
+        endpoint: str,
+        tenant: Optional[str],
+        status: int,
+        wall_ms: float,
+        bytes_in: int = 0,
+        rejected: Optional[str] = None,
+    ) -> None:
+        """Account one finished request (any status)."""
+        with self._lock:
+            self._requests_total += 1
+            self._by_endpoint[endpoint] += 1
+            if tenant:
+                self._by_tenant[tenant] += 1
+            self._by_status[str(status)] += 1
+            self._bytes_in += int(bytes_in)
+            if rejected:
+                self._rejected[rejected] += 1
+        if status < 400:
+            self.latency.record(wall_ms)
+
+    def record_streamed(self, n_results: int) -> None:
+        """Account results yielded by streaming responses."""
+        with self._lock:
+            self._results_streamed += int(n_results)
+
+    @property
+    def requests_total(self) -> int:
+        """Requests accounted so far (any endpoint, any status)."""
+        with self._lock:
+            return self._requests_total
+
+    def snapshot(self, *, engine=None, registry=None, admission=None) -> Dict[str, object]:
+        """The full ``/metrics`` JSON document.
+
+        ``engine``/``registry``/``admission`` add their live gauges
+        (plan-cache counters, engine telemetry, matrices registered,
+        queue depth) when provided.
+        """
+        with self._lock:
+            doc: Dict[str, object] = {
+                "uptime_s": time.time() - self._started,
+                "requests_total": self._requests_total,
+                "requests_by_endpoint": dict(self._by_endpoint),
+                "requests_by_tenant": dict(self._by_tenant),
+                "responses_by_status": dict(self._by_status),
+                "rejected": dict(self._rejected),
+                "bytes_in": self._bytes_in,
+                "results_streamed": self._results_streamed,
+            }
+        doc["latency_ms"] = self.latency.snapshot()
+        if admission is not None:
+            doc["admission"] = {
+                "inflight": admission.inflight,
+                "queued": admission.queued,
+                "queue_depth": admission.depth,
+                "rejected": admission.rejected,
+                "max_inflight": admission.max_inflight,
+                "max_queue": admission.max_queue,
+            }
+        if engine is not None:
+            stats = engine.cache_stats
+            doc["plan_cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "size": stats.size,
+                "maxsize": stats.maxsize,
+                "hit_rate": stats.hit_rate,
+            }
+            telemetry = engine.telemetry()
+            doc["engine"] = {
+                "completed": telemetry.completed,
+                "queue_depth": telemetry.queue_depth,
+                "mean_ms": telemetry.mean_ms,
+                "p50_ms": telemetry.p50_ms,
+                "p99_ms": telemetry.p99_ms,
+            }
+        if registry is not None:
+            doc["matrices_registered"] = registry.count()
+        return doc

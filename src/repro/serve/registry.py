@@ -1,0 +1,124 @@
+"""Fingerprint-keyed registry of uploaded matrices.
+
+The daemon's data model mirrors the plan cache's: a matrix is identified
+by its content fingerprint (:func:`~repro.core.plan.matrix_fingerprint`,
+the same 128-bit BLAKE2b digest the engine keys plans on), not by a
+user-chosen name.  ``POST /matrices`` uploads the CSR arrays once and
+returns the fingerprint; every later multiply/submit/stream request
+references it -- *upload once, multiply many*, the paper's amortisation
+argument applied to the network boundary.
+
+Storage is content-addressed and deduplicated across tenants (two
+tenants uploading the same matrix share one copy and therefore one
+cached plan), while *visibility* is per-tenant: a tenant can only use
+fingerprints it registered itself, so fingerprints do not leak which
+matrices other tenants hold.  Registration counts against the tenant's
+``max_matrices`` quota; re-registering the same content is idempotent
+and free.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set
+
+from ..core.plan import matrix_fingerprint
+from ..formats import CSRMatrix
+from .auth import Tenant
+from .errors import NotFound, QuotaExceeded
+
+__all__ = ["MatrixRegistry"]
+
+#: default global cap on distinct registered matrices (all tenants)
+DEFAULT_CAPACITY = 256
+
+
+class MatrixRegistry:
+    """Thread-safe content-addressed store of registered matrices.
+
+    Parameters
+    ----------
+    capacity:
+        Global cap on distinct matrices resident at once (all tenants
+        together); registrations beyond it are rejected with a 429 so
+        memory stays bounded.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("registry capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._matrices: Dict[str, CSRMatrix] = {}
+        self._visible: Dict[str, Set[str]] = {}
+        self._lock = threading.Lock()
+
+    def register(self, A: CSRMatrix, tenant: Tenant) -> "tuple[str, bool]":
+        """Register a matrix for a tenant; returns ``(fingerprint, created)``.
+
+        ``created`` is False when the tenant had already registered the
+        same content (idempotent, no quota charge).  Raises
+        :class:`~repro.serve.errors.QuotaExceeded` when the tenant's
+        ``max_matrices`` quota or the global capacity is exhausted.
+        """
+        fingerprint = matrix_fingerprint(A)
+        with self._lock:
+            visible = self._visible.setdefault(tenant.name, set())
+            if fingerprint in visible:
+                return fingerprint, False
+            if len(visible) >= tenant.max_matrices:
+                raise QuotaExceeded(
+                    f"tenant {tenant.name!r} reached its registration quota "
+                    f"({tenant.max_matrices} matrices); unused registrations "
+                    "must be deleted first",
+                    retry_after=1.0,
+                )
+            if fingerprint not in self._matrices:
+                if len(self._matrices) >= self.capacity:
+                    raise QuotaExceeded(
+                        f"registry is full ({self.capacity} matrices)", retry_after=5.0
+                    )
+                self._matrices[fingerprint] = A
+            visible.add(fingerprint)
+            return fingerprint, True
+
+    def get(self, fingerprint: str, tenant: Tenant) -> CSRMatrix:
+        """Resolve a fingerprint the tenant registered; 404 otherwise."""
+        with self._lock:
+            if fingerprint not in self._visible.get(tenant.name, ()):
+                raise NotFound(f"unknown matrix fingerprint {fingerprint!r}")
+            return self._matrices[fingerprint]
+
+    def delete(self, fingerprint: str, tenant: Tenant) -> None:
+        """Drop one of the tenant's registrations (frees quota); the
+        stored matrix is released once no tenant references it."""
+        with self._lock:
+            visible = self._visible.get(tenant.name, set())
+            if fingerprint not in visible:
+                raise NotFound(f"unknown matrix fingerprint {fingerprint!r}")
+            visible.discard(fingerprint)
+            if not any(fingerprint in seen for seen in self._visible.values()):
+                self._matrices.pop(fingerprint, None)
+
+    def list_for(self, tenant: Tenant) -> List[Dict[str, object]]:
+        """The tenant's registrations as JSON-ready summaries."""
+        with self._lock:
+            fingerprints = sorted(self._visible.get(tenant.name, ()))
+            rows = []
+            for fp in fingerprints:
+                A = self._matrices[fp]
+                rows.append(
+                    {
+                        "fingerprint": fp,
+                        "nrows": int(A.nrows),
+                        "ncols": int(A.ncols),
+                        "nnz": int(A.nnz),
+                    }
+                )
+            return rows
+
+    def count(self, tenant: Optional[Tenant] = None) -> int:
+        """Distinct matrices stored (or registered by one tenant)."""
+        with self._lock:
+            if tenant is None:
+                return len(self._matrices)
+            return len(self._visible.get(tenant.name, ()))

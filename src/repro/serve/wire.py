@@ -1,0 +1,135 @@
+"""JSON wire codecs for arrays, matrices and reports.
+
+The daemon speaks plain JSON, so numpy arrays need a transport form.
+Two encodings are accepted on input:
+
+* **packed** (what :class:`~repro.serve.client.SpMMClient` sends) --
+  ``{"dtype": ..., "shape": [...], "data_b64": ...}`` with the raw
+  little-endian buffer base64-encoded: compact, lossless and O(n) to
+  decode;
+* **plain nested lists** -- convenient for hand-written requests
+  (``curl``); decoded with :func:`numpy.asarray`.
+
+Responses always use the packed form.  CSR matrices travel as their
+three arrays plus the shape (:func:`encode_csr`/:func:`decode_csr`), and
+:func:`report_payload` flattens a :class:`~repro.core.plan.MultiplyReport`
+into the JSON summary returned with every multiply.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.plan import MultiplyReport
+from ..formats import CSRMatrix
+from .errors import BadRequest
+
+__all__ = [
+    "encode_array",
+    "decode_array",
+    "encode_csr",
+    "decode_csr",
+    "report_payload",
+]
+
+#: dtypes accepted over the wire (little-endian on the wire; no objects)
+_ALLOWED_KINDS = frozenset("fiu")
+
+
+def encode_array(arr: np.ndarray) -> Dict[str, object]:
+    """Encode a numpy array as a packed JSON-safe dict."""
+    arr = np.ascontiguousarray(arr)
+    if arr.dtype.kind not in _ALLOWED_KINDS:
+        raise ValueError(f"cannot encode dtype {arr.dtype} over the wire")
+    le = arr.astype(arr.dtype.newbyteorder("<"), copy=False)
+    return {
+        "dtype": arr.dtype.name,
+        "shape": list(arr.shape),
+        "data_b64": base64.b64encode(le.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(obj: object, *, field: str = "array") -> np.ndarray:
+    """Decode the packed dict form or plain nested lists into an array.
+
+    Raises :class:`~repro.serve.errors.BadRequest` (not bare exceptions)
+    on malformed input, so the server maps decode failures to 400s.
+    """
+    if isinstance(obj, dict):
+        try:
+            dtype = np.dtype(str(obj["dtype"]))
+            shape = tuple(int(d) for d in obj["shape"])
+            raw = base64.b64decode(str(obj["data_b64"]), validate=True)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BadRequest(f"{field}: malformed packed array: {exc}") from None
+        if dtype.kind not in _ALLOWED_KINDS:
+            raise BadRequest(f"{field}: dtype {dtype.name!r} not allowed on the wire")
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if len(raw) != expected:
+            raise BadRequest(
+                f"{field}: buffer holds {len(raw)} bytes, shape {shape} "
+                f"with dtype {dtype.name} needs {expected}"
+            )
+        arr = np.frombuffer(raw, dtype=dtype.newbyteorder("<")).reshape(shape)
+        # always copy: frombuffer views are read-only, and CSR
+        # construction sorts row segments in place
+        return arr.astype(dtype, copy=True)
+    if isinstance(obj, list):
+        try:
+            arr = np.asarray(obj)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"{field}: not an array: {exc}") from None
+        if arr.dtype.kind not in _ALLOWED_KINDS:
+            raise BadRequest(f"{field}: elements must be numeric")
+        return arr
+    raise BadRequest(f"{field}: expected a packed array object or nested lists")
+
+
+def encode_csr(A: CSRMatrix) -> Dict[str, object]:
+    """Encode a CSR matrix as its three packed arrays plus the shape."""
+    return {
+        "shape": [int(A.nrows), int(A.ncols)],
+        "rowptr": encode_array(A.rowptr),
+        "col": encode_array(A.col),
+        "val": encode_array(A.val),
+    }
+
+
+def decode_csr(payload: Dict[str, object]) -> CSRMatrix:
+    """Decode a registration payload into a validated :class:`CSRMatrix`."""
+    for key in ("shape", "rowptr", "col", "val"):
+        if key not in payload:
+            raise BadRequest(f"matrix payload missing {key!r}")
+    shape = payload["shape"]
+    if not isinstance(shape, (list, tuple)) or len(shape) != 2:
+        raise BadRequest("matrix shape must be a [rows, cols] pair")
+    rowptr = decode_array(payload["rowptr"], field="rowptr")
+    col = decode_array(payload["col"], field="col")
+    val = decode_array(payload["val"], field="val")
+    try:
+        return CSRMatrix(rowptr, col, val, (int(shape[0]), int(shape[1])))
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"invalid CSR structure: {exc}") from None
+
+
+def report_payload(report: Optional[MultiplyReport]) -> Dict[str, object]:
+    """Flatten a multiply report into the JSON summary of a response."""
+    if report is None:
+        return {}
+    out: Dict[str, object] = {
+        "backend": report.backend,
+        "gflops": float(report.gflops),
+        "simulated_ms": float(report.simulated_ms),
+        "n_blocks": int(report.n_blocks),
+        "bound": report.bound,
+    }
+    pre = report.preprocessing
+    if pre is not None:
+        out["reorder"] = pre.algorithm
+        out["block_shape"] = list(pre.block_shape)
+        if pre.fallback_from:
+            out["fallback_from"] = pre.fallback_from
+    return out

@@ -67,6 +67,27 @@ class TestParser:
         assert args.grid == "2x2"
         assert args.iters == 4
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8942
+        assert args.workers == 4
+        assert args.cache_size == 32
+        assert args.kernel == "smat"
+        assert args.token == []
+        assert args.max_inflight is None
+        assert args.max_queue == 16
+        assert args.max_body_mb == 64
+        assert args.registry_capacity == 256
+        assert args.quiet is False
+
+    def test_serve_token_arguments_accumulate(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--token", "alice=sekret", "--token", "bob:4:9=hunter2"]
+        )
+        assert args.port == 0
+        assert args.token == ["alice=sekret", "bob:4:9=hunter2"]
+
 
 class TestArgumentValidation:
     """Bad arguments exit with argparse's code 2 and a clean message,

@@ -21,7 +21,11 @@ from repro.analysis.doccheck import (
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DOC_FILES = [REPO_ROOT / "README.md", REPO_ROOT / "docs" / "architecture.md"]
+DOC_FILES = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "architecture.md",
+    REPO_ROOT / "docs" / "serving.md",
+]
 
 
 class TestExtraction:
@@ -100,7 +104,7 @@ class TestExecution:
 
 
 class TestRealDocumentation:
-    """README.md and docs/architecture.md exist and cannot rot silently."""
+    """README.md and the docs/ guides exist and cannot rot silently."""
 
     def test_doc_files_exist_with_python_blocks(self):
         for path in DOC_FILES:
@@ -124,7 +128,24 @@ class TestRealDocumentation:
             "ShardedSpMM",
             "repro.workloads",
             "repro workload",
+            "SpMMServer",
+            "repro serve",
             "BENCH_baseline.json",
             "docs/architecture.md",
+            "docs/serving.md",
         ):
             assert needle in text, f"README lost its {needle!r} section"
+
+    def test_serving_manual_covers_operations(self):
+        text = DOC_FILES[2].read_text()
+        for needle in (
+            "POST /matrices",
+            "POST /multiply",
+            "GET /jobs/{id}",
+            "POST /stream",
+            "GET /metrics",
+            "Retry-After",
+            "max_body_bytes",
+            "repro serve",
+        ):
+            assert needle in text, f"serving manual lost its {needle!r} coverage"

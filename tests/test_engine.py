@@ -395,3 +395,45 @@ class TestEngineValidation:
         p1 = engine.plan_for(clustered)
         p2 = engine.plan_for(clustered)
         assert p1 is p2
+
+
+class TestEngineTelemetry:
+    def test_execute_one_returns_full_batch_result(self, engine, clustered, B):
+        first = engine.execute_one(clustered, B, tag="cold")
+        second = engine.execute_one(clustered, B, tag="warm")
+        assert not first.cache_hit and second.cache_hit
+        assert first.tag == "cold" and second.tag == "warm"
+        assert first.wall_ms > 0 and second.wall_ms > 0
+        np.testing.assert_array_equal(second.C, SMaT(clustered).multiply(B))
+
+    def test_telemetry_counts_completed_work(self, engine, clustered, B):
+        snap = engine.telemetry()
+        assert snap.completed == 0 and snap.queue_depth == 0
+        assert snap.mean_ms == snap.p50_ms == snap.p99_ms == 0.0
+        engine.execute_one(clustered, B)
+        engine.multiply_batch([(clustered, B), (clustered, B)])
+        snap = engine.telemetry()
+        assert snap.completed == 3
+        assert snap.queue_depth == 0
+        assert 0.0 < snap.p50_ms <= snap.p99_ms
+        assert snap.mean_ms > 0.0
+
+    def test_queue_depth_tracks_unfinished_submits(self, engine, clustered, B):
+        tickets = [engine.submit(clustered, B) for _ in range(3)]
+        for t in tickets:
+            engine.result(t)
+        # all collected: nothing unfinished, telemetry saw every item
+        assert engine.queue_depth() == 0
+        assert engine.telemetry().completed >= 3
+
+    def test_latency_window_bounds_percentiles(self, clustered, B):
+        with SpMMEngine(max_workers=1, latency_window=2) as eng:
+            for _ in range(5):
+                eng.execute_one(clustered, B)
+            snap = eng.telemetry()
+            assert snap.completed == 5  # counter is lifetime...
+            # ...but percentiles summarise only the bounded recent window
+
+    def test_latency_window_validation(self):
+        with pytest.raises(ValueError):
+            SpMMEngine(latency_window=0)
