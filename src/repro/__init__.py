@@ -39,6 +39,7 @@ from . import (
 from .core import (
     DEFAULT_LIBRARIES,
     ExecutionPlan,
+    ExecutionPolicy,
     LibraryMeasurement,
     LinearPerformanceModel,
     MultiplyReport,
@@ -69,6 +70,7 @@ __all__ = [
     "__version__",
     "SMaT",
     "SMaTConfig",
+    "ExecutionPolicy",
     "SpMMEngine",
     "SpMMServer",
     "SpMMClient",

@@ -44,59 +44,24 @@ from typing import List, Optional
 import numpy as np
 
 from .analysis import format_table
-from .core import SMaTConfig, compare_libraries
+from .cli_args import (
+    KERNEL_CHOICES,
+    add_batch_arg,
+    add_executor_arg,
+    add_grid_arg,
+    add_shard_mode_arg,
+    add_workers_arg,
+    damping_type as _damping_type,
+    policy_from_args,
+    positive_int as _positive_int,
+    scale_type as _scale_type,
+)
+from .core import ExecutionPolicy, SMaTConfig, compare_libraries
 from .engine import SpMMEngine
 from .matrices import band_matrix, band_sparsity, suitesparse
 from .reorder import get_reorderer
 
 __all__ = ["main", "build_parser"]
-
-
-def _scale_type(text: str) -> float:
-    """Argparse type for ``--scale``: a float in (0, 1]."""
-    try:
-        value = float(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"invalid scale value: {text!r}") from None
-    if not 0.0 < value <= 1.0:
-        raise argparse.ArgumentTypeError(
-            f"scale must be in (0, 1], got {value!r}"
-        )
-    return value
-
-
-def _grid_type(text: str) -> str:
-    """Argparse type for ``--grid``: validates 'R' / 'RxC' early, keeps
-    the string form (the shard API accepts it directly)."""
-    from .shard.partition import parse_grid
-
-    try:
-        parse_grid(text)
-    except ValueError as exc:
-        raise argparse.ArgumentTypeError(str(exc)) from None
-    return text
-
-
-def _damping_type(text: str) -> float:
-    """Argparse type for ``--damping``: a float strictly inside (0, 1)."""
-    try:
-        value = float(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"invalid damping value: {text!r}") from None
-    if not 0.0 < value < 1.0:
-        raise argparse.ArgumentTypeError(f"damping must be in (0, 1), got {value!r}")
-    return value
-
-
-def _positive_int(text: str) -> int:
-    """Argparse type for counts that must be >= 1."""
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"invalid integer value: {text!r}") from None
-    if value < 1:
-        raise argparse.ArgumentTypeError(f"value must be >= 1, got {value}")
-    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,10 +116,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_engine.add_argument(
         "--n", type=_positive_int, default=8, help="columns of each dense operand B"
     )
-    p_engine.add_argument("--batch", type=_positive_int, default=16, help="operands per batch")
-    p_engine.add_argument(
-        "--workers", type=_positive_int, default=4, help="engine worker threads"
-    )
+    add_batch_arg(p_engine)
+    add_workers_arg(p_engine)
+    add_executor_arg(p_engine)
     p_engine.add_argument(
         "--cache-size", type=_positive_int, default=8, help="plan-cache capacity"
     )
@@ -186,7 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tune.add_argument(
         "--kernel",
-        choices=("smat", "cusparse", "dasp", "magicube", "cublas", "auto"),
+        choices=KERNEL_CHOICES,
         default="smat",
         help="backend to tune for: a library name, or 'auto' to grow the search "
         "space with a backend axis (the per-matrix library winner)",
@@ -211,24 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_shard.add_argument("--matrix", default="cant", help="Table-I matrix name")
     p_shard.add_argument("--scale", type=_scale_type, default=0.1, help="stand-in scale (0..1]")
-    p_shard.add_argument(
-        "--grid",
-        type=_grid_type,
-        default="4",
-        help="shard grid: row panels 'R' or 2D grid 'RxC'",
-    )
-    p_shard.add_argument(
-        "--mode",
-        choices=("nnz", "cost"),
-        default="nnz",
-        help="balancing mode: non-zeros or Eq.1 predicted cost",
-    )
+    add_grid_arg(p_shard)
+    add_shard_mode_arg(p_shard)
     p_shard.add_argument(
         "--n", type=_positive_int, default=8, help="columns of the dense operand B"
     )
-    p_shard.add_argument(
-        "--workers", type=_positive_int, default=4, help="engine worker threads"
-    )
+    add_workers_arg(p_shard)
+    add_executor_arg(p_shard)
     p_shard.add_argument(
         "--tune",
         action="store_true",
@@ -258,12 +211,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_work.add_argument(
         "--n", type=_positive_int, default=16, help="GCN feature width / smoother RHS count"
     )
-    p_work.add_argument(
-        "--workers", type=_positive_int, default=4, help="engine worker threads"
-    )
+    add_workers_arg(p_work)
+    add_executor_arg(p_work)
     p_work.add_argument(
         "--kernel",
-        choices=("smat", "cusparse", "dasp", "magicube", "cublas", "auto"),
+        choices=KERNEL_CHOICES,
         default="smat",
         help="execution backend for every SpMM ('auto' = per-matrix tuner choice)",
     )
@@ -277,18 +229,10 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run every SpMM through the sharded subsystem",
     )
-    p_work.add_argument(
-        "--grid",
-        type=_grid_type,
-        default="4",
-        help="shard grid when --sharded: row panels 'R' or 2D grid 'RxC'",
+    add_grid_arg(
+        p_work, help="shard grid when --sharded: row panels 'R' or 2D grid 'RxC'"
     )
-    p_work.add_argument(
-        "--mode",
-        choices=("nnz", "cost"),
-        default="nnz",
-        help="shard balancing mode when --sharded",
-    )
+    add_shard_mode_arg(p_work, help="shard balancing mode when --sharded")
 
     p_serve = sub.add_parser(
         "serve", help="run the SpMM-as-a-service HTTP daemon"
@@ -297,15 +241,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--port", type=int, default=8942, help="bind port (0 picks an ephemeral port)"
     )
-    p_serve.add_argument(
-        "--workers", type=_positive_int, default=4, help="engine worker threads"
-    )
+    add_workers_arg(p_serve)
+    add_executor_arg(p_serve)
     p_serve.add_argument(
         "--cache-size", type=_positive_int, default=32, help="plan-cache capacity"
     )
     p_serve.add_argument(
         "--kernel",
-        choices=("smat", "cusparse", "dasp", "magicube", "cublas", "auto"),
+        choices=KERNEL_CHOICES,
         default="smat",
         help="default execution backend (requests may override per call)",
     )
@@ -373,7 +316,9 @@ def _cmd_compare(args) -> int:
         warm = None
     else:
         with SpMMEngine(
-            config, cache_size=2 * len(libraries) + 2, max_workers=1, tune=args.tune
+            config,
+            policy=ExecutionPolicy(max_workers=1, tune=args.tune),
+            cache_size=2 * len(libraries) + 2,
         ) as engine:
             results = compare_libraries(A, B, libraries=libraries, config=config, engine=engine)
             # second pass: every library's plan now comes from the cache
@@ -458,9 +403,8 @@ def _cmd_engine(args) -> int:
     rows = []
     with SpMMEngine(
         SMaTConfig(reorder=args.reorder),
+        policy=policy_from_args(args),
         cache_size=args.cache_size,
-        max_workers=args.workers,
-        tune=args.tune,
     ) as engine:
         for label in ("cold", "warm"):
             before = engine.cache_stats
@@ -549,7 +493,7 @@ def _cmd_shard(args) -> int:
     B = rng.normal(size=(A.ncols, args.n)).astype(np.float32)
 
     with SpMMEngine(
-        SMaTConfig(), max_workers=args.workers, tune=args.tune, cache_size=64
+        SMaTConfig(), policy=policy_from_args(args), cache_size=64
     ) as engine:
         # single-plan reference (warm: preprocessing paid, plan cached)
         engine.multiply(A, B)
@@ -627,14 +571,7 @@ def _cmd_workload(args) -> int:
 
     A = suitesparse.load(args.matrix, scale=args.scale)
     rng = np.random.default_rng(0)
-    passthrough = dict(
-        kernel=args.kernel,
-        tune=args.tune,
-        sharded=args.sharded,
-        grid=args.grid,
-        mode=args.mode,
-        max_workers=args.workers,
-    )
+    passthrough = dict(kernel=args.kernel, policy=policy_from_args(args))
 
     if args.workload == "pagerank":
         result = workloads.pagerank(
@@ -701,8 +638,7 @@ def _cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         cache_size=args.cache_size,
-        max_workers=args.workers,
-        tune=args.tune,
+        policy=policy_from_args(args),
         tokens=tokens,
         registry_capacity=args.registry_capacity,
         max_inflight=args.max_inflight,

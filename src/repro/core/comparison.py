@@ -124,11 +124,12 @@ def compare_libraries(
 
     owns_engine = engine is None
     if engine is None:
+        from .policy import ExecutionPolicy
+
         engine = SpMMEngine(
             config,
             cache_size=max(8, 2 * len(libs)),
-            max_workers=1,
-            tune=tune,
+            policy=ExecutionPolicy(max_workers=1, tune=bool(tune)),
         )
     elif tune:
         raise ValueError("pass tune=True to the engine itself when providing one")

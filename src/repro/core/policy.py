@@ -1,0 +1,182 @@
+"""Unified execution policy for the serving stack.
+
+Five PRs of organic growth scattered execution knobs (``max_workers=``,
+``tune=``, ``sharded=``, ``grid=``, ``mode=``, ``latency_window=``)
+across :class:`~repro.engine.SpMMEngine`, :class:`~repro.shard.ShardedSpMM`,
+every workload function and ``repro serve``.  :class:`ExecutionPolicy`
+collects them into one frozen value object that every surface accepts as
+``policy=``, and adds the new knob that motivated the redesign: which
+*executor* runs sharded work -- the in-process thread pool (``"thread"``)
+or the GIL-escaping shared-memory process pool (``"process"``).
+
+The old keyword arguments keep working through
+:func:`policy_from_legacy`: each surface routes its legacy kwargs through
+the shim, which builds the equivalent policy and emits exactly one
+:class:`DeprecationWarning` naming the replacement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "ExecutionPolicy",
+    "default_executor",
+    "policy_from_legacy",
+]
+
+#: executors selectable via ``ExecutionPolicy(executor=...)`` / ``--executor``
+EXECUTOR_KINDS = ("thread", "process")
+
+#: environment variable that picks the executor when the policy leaves it
+#: ``None`` (the hook the CI process-mode job variant uses)
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: shard balancing modes (mirrors ``repro.shard.partition.PARTITION_MODES``;
+#: duplicated literally to keep ``repro.core`` import-independent of the
+#: shard package)
+_SHARD_MODES = ("nnz", "cost")
+
+
+def default_executor() -> str:
+    """Executor used when a policy does not name one.
+
+    Resolves ``$REPRO_EXECUTOR`` at call time (not at policy
+    construction), so one policy value behaves identically across
+    environments and the CI job variant can flip a whole test suite to
+    the process pool without touching code.
+    """
+    kind = os.environ.get(EXECUTOR_ENV, "").strip() or "thread"
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"${EXECUTOR_ENV} must be one of {EXECUTOR_KINDS}, got {kind!r}"
+        )
+    return kind
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How the serving stack executes SpMM work.
+
+    One frozen value accepted uniformly by ``SpMMEngine(policy=...)``,
+    ``ShardedSpMM``, the workload functions, ``SpMMServer`` and the CLI
+    subcommands.  Field-for-field it replaces the legacy kwargs:
+
+    ========================  ==============================
+    legacy kwarg              policy field
+    ========================  ==============================
+    ``max_workers=``          :attr:`max_workers`
+    ``tune=``                 :attr:`tune`
+    ``sharded=``              :attr:`sharded`
+    ``grid=``                 :attr:`grid`
+    ``mode=``                 :attr:`shard_mode`
+    ``latency_window=``       :attr:`latency_window`
+    (new)                     :attr:`executor`
+    ========================  ==============================
+    """
+
+    #: ``"thread"``, ``"process"``, or ``None`` = resolve from
+    #: ``$REPRO_EXECUTOR`` (default ``"thread"``) at use time
+    executor: Optional[str] = None
+    #: pool width -- engine worker threads, or process-pool workers
+    max_workers: int = 4
+    #: build plans through the auto-tuner (persistent tuning cache)
+    tune: bool = False
+    #: route ``multiply`` / workload SpMMs through the sharded subsystem
+    sharded: bool = False
+    #: shard grid: row panels ``"R"``/int or 2D grid ``"RxC"``/tuple
+    grid: Union[int, str, Tuple[int, int]] = 4
+    #: shard balancing mode: ``"nnz"`` or ``"cost"`` (Eq. 1 predicted cost)
+    shard_mode: str = "nnz"
+    #: latency samples kept for the telemetry percentiles
+    latency_window: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.executor is not None and self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_KINDS} or None, got {self.executor!r}"
+            )
+        if int(self.max_workers) < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers!r}")
+        if self.shard_mode not in _SHARD_MODES:
+            raise ValueError(
+                f"shard_mode must be one of {_SHARD_MODES}, got {self.shard_mode!r}"
+            )
+        if int(self.latency_window) < 1:
+            raise ValueError(
+                f"latency_window must be >= 1, got {self.latency_window!r}"
+            )
+
+    def resolved_executor(self) -> str:
+        """The concrete executor kind: :attr:`executor` or the
+        ``$REPRO_EXECUTOR`` / ``"thread"`` default."""
+        return self.executor if self.executor is not None else default_executor()
+
+    def replace(self, **changes) -> "ExecutionPolicy":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+
+#: map of legacy kwarg name (as surfaces expose it) -> policy field
+_LEGACY_FIELDS = {
+    "max_workers": "max_workers",
+    "tune": "tune",
+    "sharded": "sharded",
+    "grid": "grid",
+    "mode": "shard_mode",
+    "latency_window": "latency_window",
+}
+
+
+def policy_from_legacy(
+    policy: Optional[ExecutionPolicy],
+    *,
+    where: str,
+    base: Optional[ExecutionPolicy] = None,
+    stacklevel: int = 3,
+    **legacy,
+) -> ExecutionPolicy:
+    """Resolve ``policy=`` against deprecated per-surface kwargs.
+
+    ``legacy`` holds the surface's old keyword arguments with ``None``
+    meaning "not passed" (every surface migrated its legacy defaults to
+    ``None`` sentinels).  Three outcomes:
+
+    * nothing legacy passed -> ``policy`` (or ``base`` / a default one);
+    * legacy kwargs passed and ``policy is None`` -> build the equivalent
+      policy and emit **one** :class:`DeprecationWarning` naming the
+      ``ExecutionPolicy(...)`` replacement;
+    * both passed -> :class:`TypeError` (ambiguous).
+
+    ``where`` names the surface in the warning (e.g. ``"SpMMEngine"``);
+    ``base`` supplies defaults for fields the legacy kwargs leave unset.
+    """
+    provided = {k: v for k, v in legacy.items() if v is not None}
+    if not provided:
+        if policy is not None:
+            return policy
+        return base if base is not None else ExecutionPolicy()
+    if policy is not None:
+        raise TypeError(
+            f"{where}: pass either policy= or the legacy keyword(s) "
+            f"{sorted(provided)}, not both"
+        )
+    unknown = sorted(set(provided) - set(_LEGACY_FIELDS))
+    if unknown:  # programming error on the calling surface, not the user
+        raise TypeError(f"{where}: unknown legacy keyword(s) {unknown}")
+    fields = {_LEGACY_FIELDS[k]: v for k, v in provided.items()}
+    replacement = ", ".join(f"{k}={v!r}" for k, v in sorted(fields.items()))
+    warnings.warn(
+        f"{where}: keyword argument(s) {sorted(provided)} are deprecated; "
+        f"pass policy=ExecutionPolicy({replacement}) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    if base is not None:
+        return base.replace(**fields)
+    return ExecutionPolicy(**fields)

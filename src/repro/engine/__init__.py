@@ -14,14 +14,17 @@ Quick start
 >>> from repro.engine import SpMMEngine
 >>> from repro.matrices import band_matrix
 >>> A = band_matrix(512, 16)
->>> engine = SpMMEngine(cache_size=8, max_workers=4)
+>>> from repro.engine import ExecutionPolicy
+>>> engine = SpMMEngine(cache_size=8, policy=ExecutionPolicy(max_workers=4))
 >>> Bs = [np.ones((512, 8), dtype=np.float32) for _ in range(8)]
 >>> outcome = engine.multiply_many(A, Bs)   # one preprocess, 8 executions
 >>> outcome.summary.cache.hits
 7
 """
 
+from ..core.policy import ExecutionPolicy
 from .cache import CacheStats, PlanCache
+from .executors import ExecutorTelemetry, ProcessShardExecutor, ShardExecutor, ThreadShardExecutor
 from .engine import (
     BatchItem,
     BatchOutcome,
@@ -33,6 +36,11 @@ from .engine import (
 
 __all__ = [
     "SpMMEngine",
+    "ExecutionPolicy",
+    "ShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "ExecutorTelemetry",
     "BatchItem",
     "BatchResult",
     "BatchSummary",

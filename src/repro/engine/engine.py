@@ -18,14 +18,22 @@ the engine
    pipelines an operand iterator through the pool with a bounded
    in-flight window.
 
+How the engine executes is described by one frozen
+:class:`~repro.core.policy.ExecutionPolicy` value -- pool width, tuning,
+sharding defaults, and (new) which *executor* runs sharded work: the
+in-process thread pool or the GIL-escaping shared-memory process pool
+(:mod:`repro.engine.executors`).  The legacy per-kwarg spelling
+(``max_workers=``, ``tune=``, ...) still works through a deprecation
+shim.
+
 Example
 -------
 >>> import numpy as np
->>> from repro.engine import SpMMEngine
+>>> from repro.engine import ExecutionPolicy, SpMMEngine
 >>> from repro.matrices import band_matrix
 >>> A = band_matrix(512, 16)
 >>> Bs = [np.ones((512, 8), dtype=np.float32) for _ in range(4)]
->>> with SpMMEngine(cache_size=4, max_workers=2) as engine:
+>>> with SpMMEngine(cache_size=4, policy=ExecutionPolicy(max_workers=2)) as engine:
 ...     outcome = engine.multiply_many(A, Bs)
 >>> len(outcome)
 4
@@ -46,8 +54,10 @@ import numpy as np
 
 from ..core.config import SMaTConfig
 from ..core.plan import ExecutionPlan, MultiplyReport, build_with_fallback, plan_key
+from ..core.policy import ExecutionPolicy, policy_from_legacy
 from ..formats import CSRMatrix
 from .cache import CacheStats, PlanCache
+from .executors import ExecutorTelemetry, ShardExecutor, make_shard_executor
 
 __all__ = [
     "BatchItem",
@@ -141,6 +151,10 @@ class EngineTelemetry:
     mean_ms: float
     p50_ms: float
     p99_ms: float
+    #: shard-executor counters (per-worker shard loads, placement
+    #: imbalance, shared-memory bytes, tuning warmup hits); present even
+    #: before the first sharded call (zeros for the policy's executor)
+    executor: Optional[ExecutorTelemetry] = None
 
 
 #: work accepted by :meth:`SpMMEngine.multiply_batch`
@@ -155,68 +169,70 @@ class SpMMEngine:
     config:
         Default pipeline configuration for every plan the engine builds;
         individual :class:`BatchItem`\\ s may override it.
+    policy:
+        The :class:`~repro.core.policy.ExecutionPolicy`: pool width,
+        tuning, shard-executor choice (``"thread"`` / ``"process"``),
+        sharding defaults and telemetry window.  Defaults to
+        ``ExecutionPolicy()`` (4 thread workers, no tuning).
     cache_size:
         Capacity of the plan LRU (distinct (matrix, config) pairs kept
         prepared).
-    max_workers:
-        Threads executing batch items concurrently (default 4).  Plan
-        builds are deduplicated across threads, and plan execution is
-        read-only, so any worker count is safe.
-    tune:
-        Route every plan build through the auto-tuner
-        (:mod:`repro.tuner`): the first sight of a matrix runs (or loads
-        from the persistent tuning cache) a block-shape x reordering
-        search, and the plan is built from the winning configuration.
-        Equivalent to ``SMaTConfig(reorder="auto")`` but applied to every
-        item regardless of its configuration.
     tuner:
-        A pre-configured :class:`~repro.tuner.Tuner` to use when ``tune``
-        is enabled (overrides ``tuning_cache``); lets callers control the
-        search budget and candidate space.
+        A pre-configured :class:`~repro.tuner.Tuner`; implies tuning and
+        overrides ``tuning_cache``.  Lets callers control the search
+        budget and candidate space.
     tuning_cache:
         Path (or :class:`~repro.tuner.TuningCache`) of the persistent
         tuning cache; ``None`` selects the default on-disk location.
         Engines pointing at the same path share search results -- also
         across processes.  Passing ``tuning_cache`` (like ``tuner``)
-        implies ``tune=True``.
-    latency_window:
-        Number of recent per-item wall times retained for the
-        :meth:`telemetry` latency percentiles (default 1024): bounded, so
-        long-lived engines report current behaviour in O(1) memory.
+        implies tuning.
+    max_workers, tune, latency_window:
+        **Deprecated** spellings of the matching
+        :class:`~repro.core.policy.ExecutionPolicy` fields; passing any
+        of them (without ``policy=``) builds the equivalent policy and
+        emits one :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
         config: Optional[SMaTConfig] = None,
         *,
+        policy: Optional[ExecutionPolicy] = None,
         cache_size: int = 8,
-        max_workers: int = 4,
-        tune: bool = False,
         tuner=None,
         tuning_cache=None,
-        latency_window: int = 1024,
+        max_workers: Optional[int] = None,
+        tune: Optional[bool] = None,
+        latency_window: Optional[int] = None,
     ):
-        if max_workers < 1:
-            raise ValueError("SpMMEngine needs at least one worker thread")
-        if latency_window < 1:
-            raise ValueError("latency_window must be >= 1")
+        policy = policy_from_legacy(
+            policy,
+            where="SpMMEngine",
+            max_workers=max_workers,
+            tune=tune,
+            latency_window=latency_window,
+        )
         self.config = (config or SMaTConfig()).validate()
-        self.max_workers = int(max_workers)
+        self.policy = policy
+        self.max_workers = int(policy.max_workers)
+        tune_flag = policy.tune
         if tuner is not None or tuning_cache is not None:
-            tune = True
-        if tune and tuner is None:
+            tune_flag = True
+        if tune_flag and tuner is None:
             from ..tuner import Tuner
 
             tuner = Tuner(cache=tuning_cache)
         self.tuner = tuner
         self._cache = PlanCache(cache_size)
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._sharder: Optional[ShardExecutor] = None
         self._tickets: Dict[int, "Future[BatchResult]"] = {}
         self._ticket_lock = threading.Lock()
         self._next_ticket = 0
         self._closed = False
         self._telemetry_lock = threading.Lock()
-        self._latencies: "deque[float]" = deque(maxlen=latency_window)
+        self._latencies: "deque[float]" = deque(maxlen=policy.latency_window)
         self._completed = 0
 
     # -- plan management ------------------------------------------------------
@@ -277,9 +293,14 @@ class SpMMEngine:
 
         Drop-in equivalent of :meth:`repro.core.smat.SMaT.multiply`, but
         the prepared state is shared with every other call that uses the
-        same matrix and configuration.
+        same matrix and configuration.  With a ``sharded`` policy the
+        call routes through :meth:`multiply_sharded` (the report, when
+        requested, is then a :class:`~repro.shard.ShardedReport`;
+        ``keep_permuted`` does not apply to the gathered result).
         """
         self._require_open()
+        if self.policy.sharded:
+            return self.multiply_sharded(A, B, config=config, return_report=return_report)
         plan, _ = self._plan_with_hit(A, config)
         C, report = plan.execute(B, keep_permuted=keep_permuted)
         if not return_report:
@@ -416,34 +437,44 @@ class SpMMEngine:
         )
         return partition
 
-    def shard_plans_for(self, partition, config: Optional[SMaTConfig] = None):
-        """One :class:`~repro.shard.ShardPlanEntry` per shard, built (or
-        fetched) through the plan cache; per-shard tuning applies when the
-        engine was created with ``tune=True``."""
-        from ..shard.plan import ShardPlanner
+    @property
+    def shard_executor(self) -> ShardExecutor:
+        """The policy-selected :class:`~repro.engine.executors.ShardExecutor`
+        (created lazily on the first sharded call: the process pool is
+        only paid for when sharded work actually runs)."""
+        self._require_open()
+        if self._sharder is None:
+            self._sharder = make_shard_executor(
+                self.policy.resolved_executor(),
+                cache=self._cache,
+                tuner=self.tuner,
+                pool_provider=self._pool_for,
+                max_workers=self.max_workers,
+            )
+        return self._sharder
 
+    def shard_plans_for(self, partition, config: Optional[SMaTConfig] = None):
+        """One :class:`~repro.shard.ShardPlanEntry` per shard, prepared by
+        the policy's shard executor: through the engine's plan cache on
+        the thread executor, in per-worker caches on the process
+        executor.  Per-shard tuning applies when the engine tunes."""
         self._require_open()
         cfg = (config or self.config).validate()
-        planner = ShardPlanner(self._cache, tuner=self.tuner)
-        pool = self._pool_for(len(partition.shards))
-        return planner.plans_for(partition, cfg, executor=pool)
+        return self.shard_executor.prepare(partition, cfg)
 
     def execute_sharded(self, partition, entries, B: np.ndarray):
-        """Scatter-gather one sharded multiply on the engine's pool;
-        returns ``(C, ShardedReport)``."""
-        from ..shard.executor import execute_partition
-
+        """Scatter-gather one sharded multiply on the policy's shard
+        executor; returns ``(C, ShardedReport)``."""
         self._require_open()
-        pool = self._pool_for(len(entries))
-        return execute_partition(partition, entries, B, executor=pool)
+        return self.shard_executor.execute(partition, entries, B)
 
     def multiply_sharded(
         self,
         A: CSRMatrix,
         B: np.ndarray,
         *,
-        grid=4,
-        mode: str = "nnz",
+        grid=None,
+        mode: Optional[str] = None,
         config: Optional[SMaTConfig] = None,
         return_report: bool = False,
     ):
@@ -451,12 +482,16 @@ class SpMMEngine:
 
         ``A`` is split into a balanced shard grid
         (:mod:`repro.shard.partition`), every shard gets its own cached
-        (and, with ``tune=True``, per-shard tuned) plan, and the shard
-        runs are scatter-gathered on the engine's thread pool.  With
+        (and, when tuning, per-shard tuned) plan, and the shard runs are
+        scatter-gathered on the policy's executor -- the engine's thread
+        pool, or the shared-memory process pool.  ``grid`` and ``mode``
+        default to the policy's ``grid`` / ``shard_mode``.  With
         ``return_report`` the per-shard breakdown
         (:class:`~repro.shard.ShardedReport`) is returned alongside ``C``.
         """
         self._require_open()
+        grid = grid if grid is not None else self.policy.grid
+        mode = mode if mode is not None else self.policy.shard_mode
         cfg = (config or self.config).validate()
         B_arr = np.asarray(B)
         n_cols = B_arr.shape[1] if B_arr.ndim == 2 else 1
@@ -520,8 +555,9 @@ class SpMMEngine:
             return sum(1 for f in self._tickets.values() if not f.done())
 
     def telemetry(self) -> EngineTelemetry:
-        """Operational snapshot: items completed, async queue depth, and
-        latency percentiles over the recent-latency window."""
+        """Operational snapshot: items completed, async queue depth,
+        latency percentiles over the recent-latency window, and the
+        shard-executor counters (zeros until the first sharded call)."""
         with self._telemetry_lock:
             completed = self._completed
             window = list(self._latencies)
@@ -532,12 +568,19 @@ class SpMMEngine:
             p99_ms = float(np.percentile(lat, 99))
         else:
             mean_ms = p50_ms = p99_ms = 0.0
+        if self._sharder is not None:
+            executor_stats = self._sharder.telemetry()
+        else:  # not yet created: an all-zeros stub for the policy's kind
+            executor_stats = ExecutorTelemetry(
+                kind=self.policy.resolved_executor(), workers=self.max_workers
+            )
         return EngineTelemetry(
             completed=completed,
             queue_depth=self.queue_depth(),
             mean_ms=mean_ms,
             p50_ms=p50_ms,
             p99_ms=p99_ms,
+            executor=executor_stats,
         )
 
     # -- streaming ------------------------------------------------------------
@@ -588,12 +631,16 @@ class SpMMEngine:
         return self._executor
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent).  Cached plans survive
-        until the engine is garbage collected."""
+        """Shut down the worker pool and the shard executor (idempotent).
+        Cached plans survive until the engine is garbage collected; the
+        process executor's shared-memory segments are unlinked here."""
         self._closed = True
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._sharder is not None:
+            self._sharder.close()
+            self._sharder = None
 
     def __enter__(self) -> "SpMMEngine":
         return self

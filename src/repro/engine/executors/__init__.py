@@ -1,0 +1,52 @@
+"""Shard executors: where the engine's sharded scatter-gather runs.
+
+The :class:`~repro.engine.executors.base.ShardExecutor` seam has two
+implementations, selected by
+:attr:`~repro.core.policy.ExecutionPolicy.executor`:
+
+* ``"thread"`` -- :class:`ThreadShardExecutor`, the in-process thread
+  pool (shared plan cache, zero setup cost, GIL-bound);
+* ``"process"`` -- :class:`ProcessShardExecutor`, a worker-process pool
+  with a ``multiprocessing.shared_memory`` data plane, sticky Eq.1/LPT
+  shard placement and tuning-cache-warmed per-worker plan caches.
+
+:func:`make_shard_executor` is the factory the engine calls.
+"""
+
+from __future__ import annotations
+
+from .base import ExecutorTelemetry, ShardExecutor
+from .placement import Placement, place_shards, predict_shard_cost
+from .process import ProcessShardExecutor
+from .shm import SegmentRegistry, leaked_segments
+from .thread import ThreadShardExecutor
+
+__all__ = [
+    "ExecutorTelemetry",
+    "ShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "Placement",
+    "place_shards",
+    "predict_shard_cost",
+    "SegmentRegistry",
+    "leaked_segments",
+    "make_shard_executor",
+]
+
+
+def make_shard_executor(kind: str, *, cache, tuner=None, pool_provider=None, max_workers=4):
+    """Build the shard executor for one resolved policy.
+
+    ``cache`` and ``pool_provider`` serve the thread executor (which
+    shares the engine's plan cache and thread pool); the process
+    executor only needs the pool width and the tuner (for the persistent
+    tuning-cache path its workers warm from).
+    """
+    if kind == "thread":
+        return ThreadShardExecutor(
+            cache, tuner=tuner, pool_provider=pool_provider, max_workers=max_workers
+        )
+    if kind == "process":
+        return ProcessShardExecutor(max_workers, tuner=tuner)
+    raise ValueError(f"unknown executor kind {kind!r}; use 'thread' or 'process'")

@@ -1,0 +1,137 @@
+"""The executor seam: how the engine runs sharded scatter-gather work.
+
+:class:`ShardExecutor` abstracts the two-phase contract the sharded
+subsystem already speaks -- *prepare* (one plan per shard) then
+*execute* (scatter operand panels, run shards, gather ``C``) -- behind
+an interface the engine selects from
+:attr:`~repro.core.policy.ExecutionPolicy.executor`:
+
+* :class:`~repro.engine.executors.thread.ThreadShardExecutor` keeps
+  everything in-process on the engine's thread pool (plans live in the
+  engine's :class:`~repro.engine.cache.PlanCache`);
+* :class:`~repro.engine.executors.process.ProcessShardExecutor` escapes
+  the GIL with a pool of worker processes and a shared-memory data
+  plane (plans live in per-worker caches, warmed from the persistent
+  tuning cache).
+
+Both report through :class:`ExecutorTelemetry`, which the engine embeds
+in :meth:`~repro.engine.SpMMEngine.telemetry` and the serving daemon
+republishes on ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ExecutorTelemetry", "ShardExecutor"]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...core.config import SMaTConfig
+    from ...shard.executor import ShardedReport
+    from ...shard.partition import Partition
+    from ...shard.plan import ShardPlanEntry
+
+
+@dataclass
+class ExecutorTelemetry:
+    """Operational counters of one shard executor.
+
+    ``per_worker_shards`` counts shard executions landed on each worker
+    over the executor's lifetime (for the thread executor the pool is
+    anonymous, so everything aggregates under worker 0);
+    ``placement_imbalance`` is the predicted-cost imbalance of the most
+    recent placement (1.0 = perfectly balanced, thread executor reports
+    1.0); ``segment_bytes`` is shared memory currently held (0 for the
+    thread executor); ``warmup_hits`` counts worker plan/tuning builds
+    served from the persistent tuning cache.
+    """
+
+    #: ``"thread"`` or ``"process"``
+    kind: str
+    #: pool width
+    workers: int
+    #: prepared (partition, config) sessions alive
+    sessions: int = 0
+    #: shard executions completed over the executor's lifetime
+    shards_executed: int = 0
+    #: lifetime shard executions per worker index
+    per_worker_shards: Dict[int, int] = field(default_factory=dict)
+    #: predicted-cost imbalance of the latest placement (1.0 = balanced)
+    placement_imbalance: float = 1.0
+    #: shared-memory bytes currently held by the data plane
+    segment_bytes: int = 0
+    #: worker plan builds whose tuning resolved from the persistent cache
+    warmup_hits: int = 0
+
+
+class ShardExecutor(abc.ABC):
+    """Runs the prepare/execute phases of sharded SpMM for the engine.
+
+    Implementations own whatever pool and data plane they need, and must
+    make :meth:`close` idempotent and safe to call from ``finally`` /
+    ``atexit`` paths -- the leak guarantees of the process executor's
+    shared-memory segments hang off it.
+    """
+
+    #: policy spelling of this executor (``ExecutionPolicy.executor``)
+    kind: str = "abstract"
+
+    @abc.abstractmethod
+    def prepare(
+        self, partition: "Partition", config: "SMaTConfig"
+    ) -> List["ShardPlanEntry"]:
+        """One plan entry per shard of ``partition``, in shard order.
+
+        Repeated calls with the same (partition, config) must reuse the
+        prepared state (cached plans / live worker sessions) rather than
+        rebuilding it.
+        """
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        partition: "Partition",
+        entries: Sequence["ShardPlanEntry"],
+        B: np.ndarray,
+    ) -> Tuple[np.ndarray, "ShardedReport"]:
+        """Scatter-gather ``C = A @ B`` over prepared ``entries``."""
+
+    @abc.abstractmethod
+    def telemetry(self) -> ExecutorTelemetry:
+        """Current counters (see :class:`ExecutorTelemetry`)."""
+
+    def close(self) -> None:
+        """Release pools and data-plane resources (idempotent)."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def validate_operand(partition: "Partition", B: np.ndarray) -> Tuple[np.ndarray, bool]:
+    """Shared operand checks: returns ``(B as 2-D array, was_vector)``."""
+    B_arr = np.asarray(B)
+    was_vector = B_arr.ndim == 1
+    if was_vector:
+        B_arr = B_arr.reshape(-1, 1)
+    if B_arr.ndim != 2 or B_arr.shape[0] != partition.A.ncols:
+        raise ValueError(
+            f"operand B must have {partition.A.ncols} rows to match "
+            f"A {partition.A.shape}, got {np.asarray(B).shape}"
+        )
+    return B_arr, was_vector
+
+
+def resolve_tuning_cache_path(tuner) -> Optional[str]:
+    """Filesystem path of a tuner's persistent cache (``None`` when the
+    tuner is absent or memory-only) -- what worker processes receive to
+    warm their own tuning resolution from."""
+    cache = getattr(tuner, "cache", None)
+    path = getattr(cache, "path", None)
+    return str(path) if path is not None else None

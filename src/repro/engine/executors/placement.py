@@ -1,0 +1,94 @@
+"""Critical-path-aware shard placement for the process executor.
+
+Workers keep private plan caches, so shard-to-worker placement is sticky
+for the lifetime of an executor session: moving a shard to another
+worker would pay its preprocessing again.  That makes placement a
+one-shot scheduling decision, and the classic greedy answer applies:
+predict each shard's execution time with the Eq. 1 linear model
+(``T = T_e * n_blocks + T_init``, the same fit the tuner and the
+cost-balanced partitioner use), then assign longest-processing-time
+first to the least-loaded worker (LPT).  LPT is within 4/3 of the
+optimal makespan, which is the critical path the sharded multiply waits
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Sequence
+
+__all__ = ["Placement", "predict_shard_cost", "place_shards"]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...core.config import SMaTConfig
+    from ...shard.partition import Shard
+
+
+def predict_shard_cost(shard: "Shard", config: "SMaTConfig", n_cols: int = 8) -> float:
+    """Predicted execution seconds for one shard (Eq. 1).
+
+    Counts the shard's non-zero BCSR blocks under the config's block
+    shape and applies the calibrated ``T_e``/``T_init`` fit.  Falls back
+    to an nnz-proportional surrogate when the backend cannot calibrate
+    (the relative ordering is all LPT needs).
+    """
+    if shard.nnz == 0:
+        return 0.0
+    from ...reorder.metrics import blocks_per_block_row
+    from ...tuner.model import calibrate
+
+    shape = config.resolved_block_shape()
+    n_blocks = float(blocks_per_block_row(shard.matrix, shape).sum())
+    try:
+        fit = calibrate(config, shape, n_cols)
+    except Exception:  # pragma: no cover - backend without a calibration fit
+        return float(shard.nnz)
+    return fit.t_e * n_blocks + fit.t_init
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Sticky shard-to-worker assignment for one executor session."""
+
+    #: worker index per shard (parallel to the shard list placed)
+    assignment: List[int]
+    #: predicted seconds of work landed on each worker
+    loads: List[float]
+    #: predicted cost per shard (Eq. 1 seconds)
+    costs: List[float]
+
+    @property
+    def imbalance(self) -> float:
+        """Max worker load over the ideal (mean) load; 1.0 is perfect.
+
+        The same convention as :attr:`repro.shard.partition.Partition.imbalance`,
+        but measured on predicted seconds per *worker* rather than nnz
+        per shard -- it bounds how far the critical path sits above a
+        perfectly balanced pool.
+        """
+        busy = [load for load in self.loads if load > 0.0]
+        if not busy:
+            return 1.0
+        total = sum(busy)
+        ideal = total / len(self.loads)
+        return max(busy) / ideal if ideal > 0 else 1.0
+
+
+def place_shards(costs: Sequence[float], n_workers: int) -> Placement:
+    """LPT placement of shards (by predicted cost) onto ``n_workers``.
+
+    Sorts shards by descending cost and assigns each to the currently
+    least-loaded worker; ties break on the lower worker index so the
+    placement is deterministic (a requirement for session reuse -- the
+    same partition must land on the same workers every time).
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    loads = [0.0] * n_workers
+    assignment = [0] * len(costs)
+    order = sorted(range(len(costs)), key=lambda i: (-costs[i], i))
+    for i in order:
+        worker = min(range(n_workers), key=lambda w: (loads[w], w))
+        assignment[i] = worker
+        loads[worker] += costs[i]
+    return Placement(assignment=assignment, loads=loads, costs=list(costs))

@@ -1,0 +1,196 @@
+"""Shared-memory segment registry for the process executor's data plane.
+
+The process pool moves A-shard CSR arrays and the B/C operand panels
+through POSIX shared memory (:mod:`multiprocessing.shared_memory`), so
+the hot path never pickles an ndarray.  Shared-memory segments are a
+system-global resource: a segment that is created but never unlinked
+outlives the interpreter (visible under ``/dev/shm`` on Linux), so every
+segment the executor creates goes through the :class:`SegmentRegistry`
+below, which guarantees close-and-unlink on :meth:`SegmentRegistry.close`
+-- and, as a safety net, at interpreter exit.
+
+Worker processes only ever *attach* to segments the parent created;
+:func:`attach_segment` works around the CPython ``resource_tracker``
+mis-accounting (attaching registers the segment a second time, so worker
+exit would unlink storage the parent still uses and spam
+``KeyError: shared_memory`` warnings -- a known bug fixed only by the
+``track=False`` keyword of Python 3.13, which this codebase's 3.9 floor
+cannot use).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "SegmentRegistry",
+    "attach_segment",
+    "ndarray_view",
+    "leaked_segments",
+]
+
+#: name prefix of every segment this package creates (leak tests and the
+#: benchmark scan for it)
+SEGMENT_PREFIX = "repro-shm"
+
+#: live registries, unlinked by the atexit hook if close() never ran
+_LIVE_REGISTRIES: "set[SegmentRegistry]" = set()
+_LIVE_LOCK = threading.Lock()
+
+
+def _cleanup_at_exit() -> None:
+    """Unlink whatever close() did not (crash / KeyboardInterrupt path)."""
+    with _LIVE_LOCK:
+        registries = list(_LIVE_REGISTRIES)
+    for registry in registries:
+        registry.close()
+
+
+atexit.register(_cleanup_at_exit)
+
+
+class SegmentRegistry:
+    """Owns every shared-memory segment one executor creates.
+
+    ``create`` hands out named segments; :meth:`close` (idempotent,
+    thread-safe) closes **and unlinks** all of them.  Only the creating
+    process may unlink: a forked worker inherits this object, so both
+    :meth:`close` and the atexit hook check ``os.getpid()`` against the
+    creator before touching the kernel objects.
+    """
+
+    def __init__(self) -> None:
+        self._pid = os.getpid()
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._closed = False
+        with _LIVE_LOCK:
+            _LIVE_REGISTRIES.add(self)
+
+    def create(self, nbytes: int, *, tag: str = "seg") -> shared_memory.SharedMemory:
+        """A new named segment of at least ``nbytes`` bytes."""
+        if self._closed:
+            raise RuntimeError("SegmentRegistry is closed")
+        with self._lock:
+            self._counter += 1
+            name = (
+                f"{SEGMENT_PREFIX}-{self._pid}-{self._counter}"
+                f"-{tag}-{secrets.token_hex(3)}"
+            )
+            shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+            self._segments[shm.name] = shm
+            return shm
+
+    def release(self, name: str) -> None:
+        """Close and unlink one segment early (e.g. a resized B panel)."""
+        with self._lock:
+            shm = self._segments.pop(name, None)
+        if shm is not None and os.getpid() == self._pid:
+            _destroy(shm)
+
+    @property
+    def active_names(self) -> List[str]:
+        """Names of the segments currently alive (telemetry / tests)."""
+        with self._lock:
+            return sorted(self._segments)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently held in shared memory by this registry."""
+        with self._lock:
+            return sum(shm.size for shm in self._segments.values())
+
+    def close(self) -> None:
+        """Close and unlink every segment.  Idempotent; fork-safe."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments = list(self._segments.values())
+            self._segments.clear()
+        with _LIVE_LOCK:
+            _LIVE_REGISTRIES.discard(self)
+        if os.getpid() != self._pid:
+            return  # forked child: the parent owns the kernel objects
+        for shm in segments:
+            _destroy(shm)
+
+    def __enter__(self) -> "SegmentRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _destroy(shm: shared_memory.SharedMemory) -> None:
+    """close() + unlink(), swallowing already-gone errors.
+
+    ``BufferError`` means a live ndarray still views the mapping; the
+    unlink below still removes the name (the kernel frees the storage
+    once the last mapping drops), which is the leak guarantee we need.
+    """
+    try:
+        shm.close()
+    except (OSError, BufferError):  # pragma: no cover - view still alive
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - racing cleanup
+        pass
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-created segment from a worker process.
+
+    Detaches the segment from this process's ``resource_tracker``
+    bookkeeping: the parent (via its :class:`SegmentRegistry`) is the
+    sole owner, and without the unregister a worker's exit would unlink
+    segments the parent is still serving from (CPython issue; 3.13 grew
+    ``track=False`` for exactly this, but the repo supports 3.9+).
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals shifted
+        pass
+    return shm
+
+
+def ndarray_view(
+    shm: shared_memory.SharedMemory,
+    dtype: str,
+    count: int,
+    offset: int = 0,
+) -> np.ndarray:
+    """A zero-copy ndarray over ``count`` items of ``dtype`` at ``offset``."""
+    return np.frombuffer(shm.buf, dtype=np.dtype(dtype), count=count, offset=offset)
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX, pid: Optional[int] = None) -> List[str]:
+    """Orphaned segments visible under ``/dev/shm`` (Linux introspection).
+
+    Lists system-wide segments carrying this package's name prefix --
+    the leak tests and ``bench_multiprocess`` assert this comes back
+    empty after executors shut down.  ``pid`` narrows the scan to
+    segments created by one process.  Returns ``[]`` on platforms
+    without a ``/dev/shm`` view.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-Linux
+        return []
+    if pid is not None:
+        prefix = f"{prefix}-{pid}-"
+    try:
+        return sorted(n for n in os.listdir(root) if n.startswith(prefix))
+    except OSError:  # pragma: no cover - scan raced an unlink
+        return []

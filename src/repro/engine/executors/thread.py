@@ -1,0 +1,124 @@
+"""In-process shard execution on the engine's thread pool.
+
+The original execution path, repackaged behind the
+:class:`~repro.engine.executors.base.ShardExecutor` seam: plans build
+through the engine's shared :class:`~repro.engine.cache.PlanCache`
+(per-shard tuning included), and the scatter-gather of
+:func:`~repro.shard.executor.execute_partition` runs on the engine's
+``ThreadPoolExecutor``.  Cheap and zero-copy by construction (one
+address space), but numpy-external work serialises behind the GIL --
+the process executor exists for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import ExecutorTelemetry, ShardExecutor
+
+__all__ = ["ThreadShardExecutor"]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ...core.config import SMaTConfig
+    from ...shard.executor import ShardedReport
+    from ...shard.partition import Partition
+    from ...shard.plan import ShardPlanEntry
+    from ..cache import PlanCache
+
+
+class ThreadShardExecutor(ShardExecutor):
+    """Thread-pool shard executor (the engine's historical behaviour).
+
+    Parameters
+    ----------
+    cache:
+        The engine's plan cache; shard plans are keyed into it alongside
+        whole-matrix plans.
+    tuner:
+        Optional tuner for per-shard tuning (the engine's).
+    pool_provider:
+        Callable ``n_tasks -> ThreadPoolExecutor | None`` supplying the
+        engine's worker pool (``None`` when concurrency cannot help);
+        the executor never owns threads itself, so engine shutdown
+        semantics are unchanged.
+    """
+
+    kind = "thread"
+
+    def __init__(
+        self,
+        cache: "PlanCache",
+        *,
+        tuner=None,
+        pool_provider: Optional[Callable[[int], Optional["ThreadPoolExecutor"]]] = None,
+        max_workers: int = 4,
+    ):
+        self._cache = cache
+        self._tuner = tuner
+        self._pool_provider = pool_provider or (lambda n: None)
+        self._max_workers = int(max_workers)
+        self._lock = threading.Lock()
+        self._shards_executed = 0
+        self._sessions: set = set()
+
+    def prepare(
+        self, partition: "Partition", config: "SMaTConfig"
+    ) -> List["ShardPlanEntry"]:
+        """Build (or fetch) every shard's plan through the shared cache."""
+        from ...shard.plan import ShardPlanner
+
+        planner = ShardPlanner(self._cache, tuner=self._tuner)
+        pool = self._pool_provider(len(partition.shards))
+        entries = planner.plans_for(partition, config, executor=pool)
+        with self._lock:
+            self._sessions.add(self._session_key(partition, config))
+        return entries
+
+    def execute(
+        self,
+        partition: "Partition",
+        entries: Sequence["ShardPlanEntry"],
+        B: np.ndarray,
+    ) -> Tuple[np.ndarray, "ShardedReport"]:
+        """Scatter-gather on the engine's thread pool."""
+        from ...shard.executor import execute_partition
+
+        pool = self._pool_provider(len(entries))
+        C, report = execute_partition(partition, entries, B, executor=pool)
+        with self._lock:
+            self._shards_executed += len(report.shards)
+        return C, report
+
+    def telemetry(self) -> ExecutorTelemetry:
+        """Counters; the thread pool is anonymous, so per-worker shard
+        counts aggregate under worker 0 and placement is trivially
+        balanced (work-stealing pool, no sticky placement)."""
+        with self._lock:
+            executed = self._shards_executed
+            sessions = len(self._sessions)
+        return ExecutorTelemetry(
+            kind=self.kind,
+            workers=self._max_workers,
+            sessions=sessions,
+            shards_executed=executed,
+            per_worker_shards={0: executed} if executed else {},
+            placement_imbalance=1.0,
+            segment_bytes=0,
+            warmup_hits=0,
+        )
+
+    @staticmethod
+    def _session_key(partition: "Partition", config: "SMaTConfig") -> tuple:
+        from ...core.plan import config_signature, matrix_fingerprint
+
+        return (
+            matrix_fingerprint(partition.A),
+            partition.grid,
+            partition.mode,
+            config_signature(config),
+        )

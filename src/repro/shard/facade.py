@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.config import SMaTConfig
+from ..core.policy import ExecutionPolicy, policy_from_legacy
 from ..engine import SpMMEngine
 from ..formats import CSRMatrix
 from .executor import ShardedReport
@@ -51,24 +52,27 @@ class ShardedSpMM:
     mode:
         Balancing mode: ``"nnz"`` (greedy prefix-sum split of non-zeros)
         or ``"cost"`` (equalise Eq. 1 predicted shard cost).
-    tune:
-        Tune every shard individually (block shape x reordering search
-        per shard, persisted in the tuning cache).
+    policy:
+        :class:`~repro.core.policy.ExecutionPolicy` of the owned engine:
+        pool width, tuning, and whether shards run on the thread pool or
+        the shared-memory process pool.  (``grid`` passed to this class
+        takes precedence over ``policy.grid``.)
     tuner:
         A pre-configured :class:`~repro.tuner.Tuner` for the owned
-        engine (implies ``tune=True``); controls the per-shard search
-        budget and candidate space.
+        engine (implies tuning); controls the per-shard search budget
+        and candidate space.
     tuning_cache:
         Path (or :class:`~repro.tuner.TuningCache`) of the owned
-        engine's persistent tuning cache (implies ``tune=True``).
+        engine's persistent tuning cache (implies tuning).
     engine:
-        Run through an existing engine (sharing its plan cache, tuner and
-        worker pool) instead of owning a private one.  Tuning knobs then
-        belong to that engine (passing ``tune``/``tuner``/``tuning_cache``
-        here raises).
-    max_workers:
-        Worker threads of the owned engine (ignored when ``engine`` is
-        given).
+        Run through an existing engine (sharing its plan cache, tuner,
+        executor and worker pool) instead of owning a private one.
+        Execution knobs then belong to that engine (passing
+        ``policy``/``tune``/``tuner``/``tuning_cache`` here raises).
+    tune, max_workers:
+        **Deprecated** spellings of the matching policy fields; passing
+        either (without ``policy=``) builds the equivalent policy and
+        emits one :class:`DeprecationWarning`.
     n_cols:
         Operand width the ``"cost"`` balancing mode calibrates its Eq. 1
         weights for (irrelevant to ``"nnz"`` mode).
@@ -77,23 +81,28 @@ class ShardedSpMM:
     def __init__(
         self,
         A: CSRMatrix,
-        grid=4,
+        grid=None,
         config: Optional[SMaTConfig] = None,
         *,
         mode: str = "nnz",
-        tune: bool = False,
+        policy: Optional[ExecutionPolicy] = None,
+        tune: Optional[bool] = None,
         tuner=None,
         tuning_cache=None,
         engine: Optional[SpMMEngine] = None,
-        max_workers: int = 4,
+        max_workers: Optional[int] = None,
         n_cols: int = 8,
     ):
         if not isinstance(A, CSRMatrix):
             raise TypeError("ShardedSpMM expects a repro.formats.CSRMatrix input")
         if mode not in PARTITION_MODES:
             raise ValueError(f"unknown partition mode {mode!r}; use one of {PARTITION_MODES}")
+        has_policy = policy is not None
+        policy = policy_from_legacy(
+            policy, where="ShardedSpMM", tune=tune, max_workers=max_workers
+        )
         self.A = A
-        self.grid: Tuple[int, int] = parse_grid(grid)
+        self.grid: Tuple[int, int] = parse_grid(grid if grid is not None else policy.grid)
         self.mode = mode
         self.n_cols = int(n_cols)
         self.config = (config or SMaTConfig()).validate()
@@ -102,15 +111,23 @@ class ShardedSpMM:
             n_shards = self.grid[0] * self.grid[1]
             engine = SpMMEngine(
                 self.config,
+                policy=policy,
                 # room for every shard plan plus the partition entry
                 cache_size=max(8, 2 * n_shards + 1),
-                max_workers=max_workers,
-                tune=tune,
                 tuner=tuner,
                 tuning_cache=tuning_cache,
             )
-        elif tune or tuner is not None or tuning_cache is not None:
-            raise ValueError("pass tuning options to the engine itself when providing one")
+        elif (
+            has_policy
+            or tune
+            or max_workers is not None
+            or tuner is not None
+            or tuning_cache is not None
+        ):
+            raise ValueError(
+                "pass execution/tuning options (policy, tune, max_workers, tuner, "
+                "tuning_cache) to the engine itself when providing one"
+            )
         self.engine = engine
         self._partition: Optional[Partition] = None
         self._entries: Optional[List[ShardPlanEntry]] = None

@@ -38,7 +38,14 @@ from ..core.plan import (
 from ..engine.cache import PlanCache
 from .partition import Partition, Shard
 
-__all__ = ["shard_fingerprint", "shard_plan_key", "ShardPlanEntry", "ShardPlanner"]
+__all__ = [
+    "shard_fingerprint",
+    "shard_plan_key",
+    "plan_label",
+    "RemotePlanInfo",
+    "ShardPlanEntry",
+    "ShardPlanner",
+]
 
 
 def shard_fingerprint(parent_fingerprint: str, shard: Shard) -> str:
@@ -70,16 +77,56 @@ def shard_plan_key(shard: Shard, config: SMaTConfig, *, tuned: bool = False) -> 
     return (key, "tuned") if tuned else key
 
 
+def plan_label(plan: ExecutionPlan) -> str:
+    """Compact description of a built plan: ``HxW/reorder`` for SMaT
+    plans, the bare backend name (e.g. ``"cublas"``) otherwise -- block
+    shape and reordering are inert for non-blocked backends."""
+    backend = plan.report.backend
+    if backend != "smat":
+        return backend
+    h, w = plan.report.block_shape
+    return f"{h}x{w}/{plan.report.algorithm}"
+
+
+@dataclass(frozen=True)
+class RemotePlanInfo:
+    """Metadata of a shard plan that lives in an executor worker process.
+
+    The process executor builds plans inside its workers -- the parent
+    never holds the plan object -- so the reporting surface
+    (:attr:`ShardPlanEntry.backend` / :attr:`ShardPlanEntry.config_label`)
+    reads from this summary instead.
+    """
+
+    #: executor session the plan belongs to
+    session: str
+    #: worker index the shard is placed on (sticky for the session)
+    worker: int
+    #: execution backend chosen in the worker
+    backend: str
+    #: ``HxW/reorder`` (or bare backend) label, as :func:`plan_label`
+    config_label: str
+    #: non-zero BCSR blocks of the worker-built plan
+    blocks: int
+    #: True when the worker's tuning resolution came from the persistent
+    #: tuning cache (a "warmup hit")
+    warmup_hit: bool = False
+
+
 @dataclass
 class ShardPlanEntry:
     """One shard's prepared plan plus how it was obtained."""
 
     shard: Shard
-    #: ``None`` for empty shards (nothing to execute)
+    #: ``None`` for empty shards (nothing to execute) and for shards whose
+    #: plan lives in a worker process (see :attr:`remote`)
     plan: Optional[ExecutionPlan]
     cache_hit: bool
     #: wall-clock of the (possibly cached) plan fetch/build
     build_ms: float
+    #: summary of a worker-resident plan (process executor); ``None`` for
+    #: in-process plans and empty shards
+    remote: Optional[RemotePlanInfo] = None
 
     @property
     def backend(self) -> str:
@@ -88,22 +135,21 @@ class ShardPlanEntry:
         Per-shard tuning with ``kernel="auto"`` may select *different*
         backends for different shards of one matrix -- e.g. cuBLAS on a
         dense panel, SMaT elsewhere."""
+        if self.remote is not None:
+            return self.remote.backend
         if self.plan is None:
             return "-"
         return self.plan.report.backend
 
     @property
     def config_label(self) -> str:
-        """Compact description of the built plan: ``HxW/reorder`` for SMaT
-        shards, the bare backend name (e.g. ``"cublas"``) otherwise --
-        block shape and reordering are inert for non-blocked backends."""
+        """Compact description of the built plan (see :func:`plan_label`);
+        ``"-"`` for empty shards."""
+        if self.remote is not None:
+            return self.remote.config_label
         if self.plan is None:
             return "-"
-        backend = self.plan.report.backend
-        if backend != "smat":
-            return backend
-        h, w = self.plan.report.block_shape
-        return f"{h}x{w}/{self.plan.report.algorithm}"
+        return plan_label(self.plan)
 
 
 class ShardPlanner:

@@ -22,6 +22,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.config import SMaTConfig
+from ..core.policy import ExecutionPolicy, policy_from_legacy
 from ..engine import SpMMEngine
 from ..formats import CSRMatrix
 
@@ -182,15 +183,15 @@ class SpMMOperator:
         Execution backend for every multiply (``"smat"``, ``"cusparse"``,
         ``"dasp"``, ``"magicube"``, ``"cublas"``, or ``"auto"`` for the
         per-matrix tuner choice); overrides the backend of ``config``.
-    tune:
-        Build the plan through the auto-tuner (owned engines only).
-    sharded:
-        Route multiplies through the sharded subsystem (one plan per
-        shard, scatter-gather execution).
-    grid, mode:
-        Shard grid and balancing mode, used only when ``sharded``.
-    max_workers:
-        Worker threads of the owned engine.
+    policy:
+        :class:`~repro.core.policy.ExecutionPolicy` of the owned engine
+        -- pool width, tuning, sharded routing (``sharded``/``grid``/
+        ``shard_mode``) and the thread-vs-process executor choice.
+    tune, sharded, grid, mode, max_workers:
+        **Deprecated** spellings of the matching policy fields (``mode``
+        maps to ``shard_mode``); passing any of them without ``policy=``
+        builds the equivalent policy and emits one
+        :class:`DeprecationWarning`.
     """
 
     def __init__(
@@ -200,14 +201,25 @@ class SpMMOperator:
         engine: Optional[SpMMEngine] = None,
         config: Optional[SMaTConfig] = None,
         kernel: Optional[str] = None,
-        tune: bool = False,
-        sharded: bool = False,
-        grid=4,
-        mode: str = "nnz",
-        max_workers: int = 4,
+        policy: Optional[ExecutionPolicy] = None,
+        tune: Optional[bool] = None,
+        sharded: Optional[bool] = None,
+        grid=None,
+        mode: Optional[str] = None,
+        max_workers: Optional[int] = None,
     ):
         if not isinstance(A, CSRMatrix):
             raise TypeError("SpMMOperator expects a repro.formats.CSRMatrix input")
+        has_policy = policy is not None
+        policy = policy_from_legacy(
+            policy,
+            where="SpMMOperator",
+            tune=tune,
+            sharded=sharded,
+            grid=grid,
+            mode=mode,
+            max_workers=max_workers,
+        )
         self.A = A
         if kernel is not None:
             # override only the backend, inheriting every other knob from
@@ -215,19 +227,25 @@ class SpMMOperator:
             base = config if config is not None else (engine.config if engine else SMaTConfig())
             config = replace(base, kernel=kernel).validate()
         self.config = config
-        self.sharded = bool(sharded)
-        self.grid = grid
-        self.mode = mode
+        self.policy = policy
+        self.sharded = bool(policy.sharded)
+        self.grid = policy.grid
+        self.mode = policy.shard_mode
         self._owns_engine = engine is None
         if engine is None:
+            # the operator routes sharded multiplies itself, so the owned
+            # engine gets a non-sharded copy of the policy (no double
+            # routing through SpMMEngine.multiply)
             engine = SpMMEngine(
                 config,
+                policy=policy.replace(sharded=False),
                 cache_size=16,
-                max_workers=max_workers,
-                tune=tune,
             )
-        elif tune:
-            raise ValueError("pass tune=True to the engine itself when providing one")
+        elif has_policy or tune:
+            raise ValueError(
+                "pass execution options (policy, tune) to the engine itself "
+                "when providing one"
+            )
         self.engine = engine
         self.tuned = engine.tuner is not None
         self.kernel = (self.config or engine.config).resolved_kernel()

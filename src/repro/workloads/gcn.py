@@ -48,11 +48,12 @@ def gcn_forward(
     engine=None,
     config=None,
     kernel: Optional[str] = None,
-    tune: bool = False,
-    sharded: bool = False,
-    grid=4,
-    mode: str = "nnz",
-    max_workers: int = 4,
+    policy=None,
+    tune: Optional[bool] = None,
+    sharded: Optional[bool] = None,
+    grid=None,
+    mode: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> GCNResult:
     """Run a ``len(weights)``-layer GCN forward pass.
 
@@ -65,8 +66,10 @@ def gcn_forward(
 
     ``activation`` is ``"relu"``, ``"tanh"`` or ``"none"``, applied after
     every layer except the last (enable ``final_activation`` to include
-    it).  ``tune=True`` / ``sharded=True`` / ``engine=`` pass through to
-    the serving stack exactly as in :func:`~repro.workloads.pagerank`.
+    it).  ``policy=`` / ``engine=`` pass through to the serving stack
+    exactly as in :func:`~repro.workloads.pagerank` (the ``tune``/
+    ``sharded``/``grid``/``mode``/``max_workers`` keywords are
+    **deprecated** spellings of the policy fields).
     """
     activations = {
         "relu": lambda X: np.maximum(X, 0.0),
@@ -91,6 +94,7 @@ def gcn_forward(
         engine=engine,
         config=config,
         kernel=kernel,
+        policy=policy,
         tune=tune,
         sharded=sharded,
         grid=grid,

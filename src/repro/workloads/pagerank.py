@@ -90,11 +90,12 @@ def pagerank(
     engine=None,
     config=None,
     kernel: Optional[str] = None,
-    tune: bool = False,
-    sharded: bool = False,
-    grid=4,
-    mode: str = "nnz",
-    max_workers: int = 4,
+    policy=None,
+    tune: Optional[bool] = None,
+    sharded: Optional[bool] = None,
+    grid=None,
+    mode: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> PageRankResult:
     """PageRank of the graph with adjacency matrix ``A``.
 
@@ -112,9 +113,11 @@ def pagerank(
     iteration, and ``scores`` has matching shape.
 
     The SpMM runs on an :class:`~repro.engine.SpMMEngine` (pass
-    ``engine`` to share one, or the operator owns a private one), with
-    ``tune=True`` / ``sharded=True`` pass-through to the tuner and the
-    sharded subsystem.
+    ``engine`` to share one, or the operator owns a private one).  Pass
+    ``policy=ExecutionPolicy(...)`` to pick the executor, tuning and
+    sharded routing; the ``tune``/``sharded``/``grid``/``mode``/
+    ``max_workers`` keywords are **deprecated** spellings of the same
+    policy fields.
     """
     if not 0.0 < damping < 1.0:
         raise ValueError(f"damping must be in (0, 1), got {damping!r}")
@@ -144,6 +147,7 @@ def pagerank(
         engine=engine,
         config=config,
         kernel=kernel,
+        policy=policy,
         tune=tune,
         sharded=sharded,
         grid=grid,
@@ -178,11 +182,12 @@ def power_iteration(
     engine=None,
     config=None,
     kernel: Optional[str] = None,
-    tune: bool = False,
-    sharded: bool = False,
-    grid=4,
-    mode: str = "nnz",
-    max_workers: int = 4,
+    policy=None,
+    tune: Optional[bool] = None,
+    sharded: Optional[bool] = None,
+    grid=None,
+    mode: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> PowerIterationResult:
     """Dominant eigenpair of a square matrix ``A`` by power iteration.
 
@@ -211,6 +216,7 @@ def power_iteration(
         engine=engine,
         config=config,
         kernel=kernel,
+        policy=policy,
         tune=tune,
         sharded=sharded,
         grid=grid,

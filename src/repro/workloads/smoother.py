@@ -102,11 +102,12 @@ def jacobi_smoother(
     engine=None,
     config=None,
     kernel: Optional[str] = None,
-    tune: bool = False,
-    sharded: bool = False,
-    grid=4,
-    mode: str = "nnz",
-    max_workers: int = 4,
+    policy=None,
+    tune: Optional[bool] = None,
+    sharded: Optional[bool] = None,
+    grid=None,
+    mode: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> SmootherResult:
     """Weighted Jacobi relaxation ``x <- x + omega D^-1 (b - A x)``.
 
@@ -128,6 +129,7 @@ def jacobi_smoother(
         engine=engine,
         config=config,
         kernel=kernel,
+        policy=policy,
         tune=tune,
         sharded=sharded,
         grid=grid,
@@ -159,11 +161,12 @@ def chebyshev_smoother(
     engine=None,
     config=None,
     kernel: Optional[str] = None,
-    tune: bool = False,
-    sharded: bool = False,
-    grid=4,
-    mode: str = "nnz",
-    max_workers: int = 4,
+    policy=None,
+    tune: Optional[bool] = None,
+    sharded: Optional[bool] = None,
+    grid=None,
+    mode: Optional[str] = None,
+    max_workers: Optional[int] = None,
 ) -> SmootherResult:
     """Chebyshev polynomial smoother for SPD-like systems ``A x = b``.
 
@@ -190,6 +193,7 @@ def chebyshev_smoother(
         engine=engine,
         config=config,
         kernel=kernel,
+        policy=policy,
         tune=tune,
         sharded=sharded,
         grid=grid,

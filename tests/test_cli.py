@@ -125,6 +125,10 @@ class TestArgumentValidation:
             ["workload", "--iters", "0"],
             ["workload", "--grid", "0x1"],
             ["workload", "--workers", "0"],
+            ["engine", "--executor", "banana"],
+            ["shard", "--executor", "fiber"],
+            ["workload", "--executor", "coroutine"],
+            ["serve", "--executor", "banana"],
         ],
     )
     def test_bad_arguments_exit_code_2(self, argv, capsys):
@@ -139,6 +143,45 @@ class TestArgumentValidation:
         with pytest.raises(SystemExit) as excinfo:
             main(["frobnicate"])
         assert excinfo.value.code == 2
+
+
+class TestSharedExecutionFlags:
+    """The --executor flag and the args -> ExecutionPolicy mapping come
+    from one shared module (repro.cli_args), wired through every
+    subcommand."""
+
+    @pytest.mark.parametrize("cmd", ["engine", "shard", "workload", "serve"])
+    def test_executor_flag_everywhere(self, cmd):
+        assert build_parser().parse_args([cmd]).executor is None
+        args = build_parser().parse_args([cmd, "--executor", "process"])
+        assert args.executor == "process"
+
+    def test_policy_from_args_maps_fields(self):
+        from repro.cli_args import policy_from_args
+
+        args = build_parser().parse_args(
+            ["shard", "--executor", "process", "--workers", "3",
+             "--grid", "2x2", "--mode", "cost"]
+        )
+        policy = policy_from_args(args)
+        assert policy.executor == "process"
+        assert policy.max_workers == 3
+        assert policy.grid == "2x2"
+        assert policy.shard_mode == "cost"
+
+    def test_policy_from_args_overrides_win(self):
+        from repro.cli_args import policy_from_args
+
+        args = build_parser().parse_args(["engine", "--workers", "3"])
+        policy = policy_from_args(args, max_workers=1)
+        assert policy.max_workers == 1
+
+    def test_absent_flags_keep_policy_defaults(self):
+        from repro.cli_args import policy_from_args
+        from repro.core.policy import ExecutionPolicy
+
+        args = build_parser().parse_args(["compare"])
+        assert policy_from_args(args) == ExecutionPolicy(tune=False)
 
 
 class TestCommands:

@@ -1,0 +1,226 @@
+"""ExecutionPolicy: validation, env resolution, and the deprecation shim."""
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import SMaTConfig
+from repro.core.plan import PlanSpec
+from repro.core.policy import (
+    EXECUTOR_ENV,
+    ExecutionPolicy,
+    default_executor,
+    policy_from_legacy,
+)
+from repro.engine import SpMMEngine
+from repro.serve import SpMMServer
+from repro.shard import ShardedSpMM
+from repro.workloads import SpMMOperator
+
+
+def _operand(A, n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(A.ncols, n)).astype(np.float32)
+
+
+class TestPolicyValue:
+    def test_defaults(self):
+        policy = ExecutionPolicy()
+        assert policy.executor is None
+        assert policy.max_workers == 4
+        assert not policy.tune
+        assert not policy.sharded
+        assert policy.grid == 4
+        assert policy.shard_mode == "nnz"
+        assert policy.latency_window == 1024
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExecutionPolicy().max_workers = 8
+
+    def test_replace_returns_new_value(self):
+        base = ExecutionPolicy()
+        tuned = base.replace(tune=True, executor="process")
+        assert tuned.tune and tuned.executor == "process"
+        assert not base.tune and base.executor is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"executor": "banana"},
+            {"max_workers": 0},
+            {"shard_mode": "banana"},
+            {"latency_window": 0},
+        ],
+    )
+    def test_rejects_invalid_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(**kwargs)
+
+    def test_picklable(self):
+        policy = ExecutionPolicy(executor="process", grid="2x2", tune=True)
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+class TestEnvResolution:
+    def test_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+        assert default_executor() == "thread"
+        assert ExecutionPolicy().resolved_executor() == "thread"
+
+    def test_env_picks_process(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "process")
+        assert ExecutionPolicy().resolved_executor() == "process"
+
+    def test_explicit_field_beats_env(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "process")
+        assert ExecutionPolicy(executor="thread").resolved_executor() == "thread"
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "banana")
+        with pytest.raises(ValueError, match="REPRO_EXECUTOR"):
+            default_executor()
+
+    def test_resolution_happens_at_use_time(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+        policy = ExecutionPolicy()
+        assert policy.resolved_executor() == "thread"
+        monkeypatch.setenv(EXECUTOR_ENV, "process")
+        assert policy.resolved_executor() == "process"
+
+
+class TestLegacyShim:
+    def test_nothing_legacy_returns_policy_or_default(self):
+        policy = ExecutionPolicy(max_workers=2)
+        assert policy_from_legacy(policy, where="X") is policy
+        assert policy_from_legacy(None, where="X") == ExecutionPolicy()
+        base = ExecutionPolicy(tune=True)
+        assert policy_from_legacy(None, where="X", base=base) is base
+
+    def test_legacy_kwargs_build_policy_with_one_warning(self):
+        with pytest.warns(DeprecationWarning, match="policy=ExecutionPolicy") as rec:
+            policy = policy_from_legacy(
+                None, where="X", max_workers=2, tune=True, mode="cost"
+            )
+        assert len(rec) == 1
+        assert policy == ExecutionPolicy(max_workers=2, tune=True, shard_mode="cost")
+
+    def test_both_policy_and_legacy_raises(self):
+        with pytest.raises(TypeError, match="not both"):
+            policy_from_legacy(ExecutionPolicy(), where="X", tune=True)
+
+    def test_none_sentinels_are_not_legacy(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            policy_from_legacy(None, where="X", tune=None, max_workers=None)
+
+
+class TestSurfaceShims:
+    """Every surface accepts policy= and keeps legacy kwargs via the shim."""
+
+    def test_engine_legacy_kwargs_warn_and_match_policy(self, medium_random):
+        B = _operand(medium_random)
+        with pytest.warns(DeprecationWarning, match="SpMMEngine"):
+            legacy = SpMMEngine(max_workers=2, latency_window=64)
+        new = SpMMEngine(policy=ExecutionPolicy(max_workers=2, latency_window=64))
+        try:
+            assert legacy.max_workers == new.max_workers == 2
+            assert legacy.policy == new.policy
+            C1 = legacy.execute_one(medium_random, B).C
+            C2 = new.execute_one(medium_random, B).C
+            np.testing.assert_array_equal(C1, C2)
+            # identical telemetry shape/counters after identical work
+            t1, t2 = legacy.telemetry(), new.telemetry()
+            assert t1.completed == t2.completed == 1
+            assert t1.executor.kind == t2.executor.kind
+            assert t1.executor.workers == t2.executor.workers == 2
+        finally:
+            legacy.close()
+            new.close()
+
+    def test_engine_rejects_policy_plus_legacy(self):
+        with pytest.raises(TypeError, match="not both"):
+            SpMMEngine(policy=ExecutionPolicy(), max_workers=2)
+
+    def test_engine_policy_sharded_routes_multiply(self, medium_random):
+        B = _operand(medium_random)
+        with SpMMEngine(
+            policy=ExecutionPolicy(sharded=True, grid="2x2"), cache_size=32
+        ) as engine:
+            C = engine.multiply(medium_random, B)
+        np.testing.assert_allclose(C, medium_random.spmm(B), rtol=1e-3, atol=1e-3)
+
+    def test_sharded_facade_old_vs_new_identical_plans(self, medium_random):
+        B = _operand(medium_random)
+        with pytest.warns(DeprecationWarning, match="ShardedSpMM"):
+            with ShardedSpMM(medium_random, 2, max_workers=2) as legacy:
+                C1, report1 = legacy.multiply(B, return_report=True)
+        with ShardedSpMM(
+            medium_random, 2, policy=ExecutionPolicy(max_workers=2)
+        ) as new:
+            C2, report2 = new.multiply(B, return_report=True)
+        np.testing.assert_array_equal(C1, C2)
+        assert [s.config for s in report1.shards] == [s.config for s in report2.shards]
+        assert report1.grid == report2.grid
+
+    def test_sharded_facade_grid_from_policy(self, medium_random):
+        with ShardedSpMM(
+            medium_random, policy=ExecutionPolicy(grid="2x2")
+        ) as sharded:
+            assert sharded.grid == (2, 2)
+
+    def test_sharded_facade_rejects_policy_with_shared_engine(self, medium_random):
+        with SpMMEngine() as engine:
+            with pytest.raises(ValueError, match="engine"):
+                ShardedSpMM(
+                    medium_random, 2, engine=engine, policy=ExecutionPolicy()
+                )
+
+    def test_operator_legacy_warns_and_matches_policy(self, medium_random):
+        B = _operand(medium_random)
+        with pytest.warns(DeprecationWarning, match="SpMMOperator"):
+            with SpMMOperator(medium_random, sharded=True, grid="2x2") as legacy:
+                C1 = legacy.matmul(B)
+        with SpMMOperator(
+            medium_random, policy=ExecutionPolicy(sharded=True, grid="2x2")
+        ) as new:
+            assert new.sharded and new.grid == "2x2"
+            C2 = new.matmul(B)
+        np.testing.assert_array_equal(C1, C2)
+
+    def test_operator_rejects_policy_with_shared_engine(self, medium_random):
+        with SpMMEngine() as engine:
+            with pytest.raises(ValueError, match="engine"):
+                SpMMOperator(medium_random, engine=engine, policy=ExecutionPolicy())
+
+    def test_server_legacy_warns_and_matches_policy(self):
+        with pytest.warns(DeprecationWarning, match="SpMMServer"):
+            with SpMMServer(max_workers=2) as legacy:
+                legacy_workers = legacy.engine.max_workers
+                legacy_admission = legacy.admission.max_inflight
+        with SpMMServer(policy=ExecutionPolicy(max_workers=2)) as new:
+            assert new.engine.max_workers == legacy_workers == 2
+            assert new.admission.max_inflight == legacy_admission == 2
+
+    def test_server_rejects_policy_with_shared_engine(self):
+        with SpMMEngine() as engine:
+            with pytest.raises(ValueError, match="engine"):
+                SpMMServer(engine=engine, policy=ExecutionPolicy())
+
+
+class TestPlanSpecPicklable:
+    def test_config_and_spec_roundtrip(self):
+        spec = PlanSpec(SMaTConfig(reorder_columns=True), tuned=True)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.signature() == spec.signature()
+        assert clone.tuned
+
+    def test_spec_builds_equivalent_plan(self, medium_random):
+        spec = PlanSpec(SMaTConfig())
+        clone = pickle.loads(pickle.dumps(spec))
+        B = _operand(medium_random)
+        C1, _ = spec.build(medium_random).execute(B)
+        C2, _ = clone.build(medium_random).execute(B)
+        np.testing.assert_array_equal(C1, C2)

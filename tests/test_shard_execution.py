@@ -84,13 +84,22 @@ class TestFacade:
     def test_failed_preprocess_closes_owned_engine(self, medium_random):
         import threading
 
+        from repro.core.policy import ExecutionPolicy
+
         class BoomTuner:
             def resolve(self, A, cfg):
                 raise RuntimeError("boom")
 
+        # pinned to the thread executor: only it consults the host-side
+        # tuner during prepare (process workers build their own tuner)
         before = {t.name for t in threading.enumerate()}
         with pytest.raises(RuntimeError, match="boom"):
-            ShardedSpMM(medium_random, 2, tune=True, tuner=BoomTuner())
+            ShardedSpMM(
+                medium_random,
+                2,
+                policy=ExecutionPolicy(executor="thread", tune=True),
+                tuner=BoomTuner(),
+            )
         leaked = [
             t.name
             for t in threading.enumerate()
