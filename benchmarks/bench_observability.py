@@ -1,0 +1,137 @@
+"""Observability overhead: tracing must be free when off, cheap when on.
+
+The tracer rides inside the engine's hot path (``engine.multiply`` wraps
+every call in an ``engine.multiply`` span, the plan cache in a
+``plan.lookup`` span), so its cost model is part of the engine's latency
+contract:
+
+* **disabled tracing is a provable no-op** -- an engine whose policy
+  carries ``ObservabilityConfig(tracing=False)`` (or no observability
+  config at all) must stay within **2%** of the untraced baseline on the
+  warm cached-plan path;
+* **sampled tracing is cheap** -- with ``sample_rate=0.1`` (one root
+  trace in ten) the same path must stay within **5%**.
+
+Measurement protocol: the three engines are timed in interleaved rounds
+(base, disabled, sampled, repeat) and each variant keeps its *minimum*
+round time, so scheduler noise and cache warm-up hit all variants alike
+and the ratio compares best-case against best-case.
+"""
+
+import time
+
+import pytest
+
+from repro import SMaTConfig
+from repro.core.policy import ExecutionPolicy
+from repro.engine import SpMMEngine
+from repro.matrices import suitesparse
+from repro.obs import ObservabilityConfig
+
+from common import dense_rhs, print_figure
+
+MATRIX = "cant"
+N_COLS = 8
+#: engine.multiply calls per timed sample (amortises timer granularity)
+INNER = 8
+#: interleaved measurement rounds per variant
+ROUNDS = 50
+#: overhead ceilings the bench itself asserts
+DISABLED_CEILING = 1.02
+SAMPLED_CEILING = 1.05
+
+
+@pytest.fixture(scope="module")
+def problem(bench_scale):
+    A = suitesparse.load(MATRIX, scale=bench_scale)
+    return A, dense_rhs(A.ncols, N_COLS)
+
+
+def _sample_ms(engine, A, B):
+    """Wall-clock milliseconds of ``INNER`` warm multiply calls."""
+    start = time.perf_counter()
+    for _ in range(INNER):
+        engine.multiply(A, B)
+    return 1e3 * (time.perf_counter() - start)
+
+
+@pytest.mark.benchmark(group="observability")
+def test_tracing_overhead(benchmark, problem):
+    """Warm cached-plan latency: untraced vs tracing-off vs sampled."""
+    A, B = problem
+
+    engines = {
+        "base (no obs config)": SpMMEngine(
+            SMaTConfig(), policy=ExecutionPolicy(max_workers=1), cache_size=4
+        ),
+        "tracing off": SpMMEngine(
+            SMaTConfig(),
+            policy=ExecutionPolicy(obs=ObservabilityConfig(), max_workers=1),
+            cache_size=4,
+        ),
+        "sampled 10%": SpMMEngine(
+            SMaTConfig(),
+            policy=ExecutionPolicy(
+                obs=ObservabilityConfig(tracing=True, sample_rate=0.1),
+                max_workers=1,
+            ),
+            cache_size=4,
+        ),
+    }
+    try:
+        # the no-op fast path is structural, not just fast: every span()
+        # call of a disabled tracer returns the same stateless handle
+        for label in ("base (no obs config)", "tracing off"):
+            tracer = engines[label].tracer
+            assert tracer.span("a") is tracer.span("b")
+        assert engines["sampled 10%"].tracer.enabled
+
+        for engine in engines.values():  # plan build + first-hit warm-up
+            engine.multiply(A, B)
+            _sample_ms(engine, A, B)
+
+        best = {label: float("inf") for label in engines}
+        for _ in range(ROUNDS):
+            for label, engine in engines.items():
+                best[label] = min(best[label], _sample_ms(engine, A, B))
+
+        benchmark(lambda: engines["base (no obs config)"].multiply(A, B))
+        sampled_spans = len(engines["sampled 10%"].tracer.snapshot())
+    finally:
+        for engine in engines.values():
+            engine.close()
+
+    base_ms = best["base (no obs config)"]
+    disabled_ratio = best["tracing off"] / base_ms
+    sampled_ratio = best["sampled 10%"] / base_ms
+    rows = [
+        {
+            "variant": label,
+            "best_ms": ms,
+            "vs_base": ms / base_ms,
+        }
+        for label, ms in best.items()
+    ]
+    print_figure(
+        f"tracing overhead on the warm cached-plan path ({MATRIX}, "
+        f"min of {ROUNDS} interleaved rounds x {INNER} calls)",
+        rows,
+    )
+    print(f"sampled tracer recorded {sampled_spans} spans")
+    benchmark.extra_info["base_ms"] = base_ms
+    benchmark.extra_info["disabled_ms"] = best["tracing off"]
+    benchmark.extra_info["sampled_ms"] = best["sampled 10%"]
+    benchmark.extra_info["disabled_overhead_ratio"] = disabled_ratio
+    benchmark.extra_info["sampled_overhead_ratio"] = sampled_ratio
+
+    # sampling at 10% must actually record traces (and respect the stride)
+    assert sampled_spans > 0
+    # acceptance criteria: off <= 2% overhead, sampled <= 5%
+    assert disabled_ratio <= DISABLED_CEILING, (
+        f"tracing-off overhead {100 * (disabled_ratio - 1):.2f}% exceeds "
+        f"{100 * (DISABLED_CEILING - 1):.0f}%"
+    )
+    assert sampled_ratio <= SAMPLED_CEILING, (
+        f"sampled-tracing overhead {100 * (sampled_ratio - 1):.2f}% exceeds "
+        f"{100 * (SAMPLED_CEILING - 1):.0f}%"
+    )

@@ -30,6 +30,9 @@ script:
 * ``python -m repro serve --port 8942`` starts the SpMM-as-a-service HTTP
   daemon (register matrices by fingerprint, then multiply over JSON; see
   ``docs/serving.md`` for the operations manual);
+* ``python -m repro trace --matrix cant --workload pagerank --out trace.json``
+  runs a workload with tracing on, prints the ASCII span tree, and writes
+  a Chrome trace-event JSON (see ``docs/observability.md``);
 * ``python -m repro matrices`` lists the available Table-I stand-ins;
 * ``python -m repro kernels`` lists the execution backends (name, internal
   format, cost-model summary) selectable via ``kernel=`` / ``--kernel``.
@@ -50,6 +53,7 @@ from .cli_args import (
     add_executor_arg,
     add_grid_arg,
     add_shard_mode_arg,
+    add_trace_arg,
     add_workers_arg,
     damping_type as _damping_type,
     policy_from_args,
@@ -128,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="build tuned plans through the auto-tuner (persistent tuning cache)",
     )
+    add_trace_arg(p_engine)
 
     p_tune = sub.add_parser(
         "tune", help="auto-tune block shape x reordering for one matrix"
@@ -233,6 +238,67 @@ def build_parser() -> argparse.ArgumentParser:
         p_work, help="shard grid when --sharded: row panels 'R' or 2D grid 'RxC'"
     )
     add_shard_mode_arg(p_work, help="shard balancing mode when --sharded")
+    add_trace_arg(p_work)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a workload with tracing on; print the span tree and "
+        "export a Chrome trace",
+    )
+    p_trace.add_argument("--matrix", default="cant", help="Table-I matrix name")
+    p_trace.add_argument("--scale", type=_scale_type, default=0.1, help="stand-in scale (0..1]")
+    p_trace.add_argument(
+        "--workload",
+        choices=("pagerank", "power", "gcn", "jacobi", "chebyshev"),
+        default="pagerank",
+        help="which iterative algorithm to trace",
+    )
+    p_trace.add_argument(
+        "--iters", type=_positive_int, default=10, help="maximum iterations (or GCN layers)"
+    )
+    p_trace.add_argument(
+        "--tol", type=float, default=1e-6, help="convergence tolerance (early exit)"
+    )
+    p_trace.add_argument(
+        "--damping", type=_damping_type, default=0.85, help="PageRank damping factor in (0, 1)"
+    )
+    p_trace.add_argument(
+        "--n", type=_positive_int, default=16, help="GCN feature width / smoother RHS count"
+    )
+    add_workers_arg(p_trace)
+    add_executor_arg(p_trace)
+    p_trace.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="smat",
+        help="execution backend for every SpMM ('auto' = per-matrix tuner choice)",
+    )
+    p_trace.add_argument(
+        "--tune",
+        action="store_true",
+        help="build the workload's plan(s) through the auto-tuner",
+    )
+    p_trace.add_argument(
+        "--sharded",
+        action="store_true",
+        help="run every SpMM through the sharded subsystem",
+    )
+    add_grid_arg(
+        p_trace, help="shard grid when --sharded: row panels 'R' or 2D grid 'RxC'"
+    )
+    add_shard_mode_arg(p_trace, help="shard balancing mode when --sharded")
+    p_trace.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help="root-span sampling rate in (0, 1] (1.0 records every trace)",
+    )
+    p_trace.add_argument(
+        "--out",
+        default="trace.json",
+        metavar="FILE",
+        help="Chrome trace-event JSON output path",
+    )
 
     p_serve = sub.add_parser(
         "serve", help="run the SpMM-as-a-service HTTP daemon"
@@ -441,6 +507,8 @@ def _cmd_engine(args) -> int:
         f"single-query latency: cold (preprocess + execute) {cold_ms:.2f} ms, "
         f"cached plan {warm_ms:.2f} ms -> {speedup:.1f}x speedup"
     )
+    if args.trace:
+        _write_trace(engine.tracer, args.trace)
     return 0
 
 
@@ -566,13 +634,28 @@ def _spd_system(A):
     ).to_csr()
 
 
-def _cmd_workload(args) -> int:
+def _write_trace(tracer, path: str, *, tree: bool = False) -> None:
+    """Export a tracer's spans as Chrome trace-event JSON (optionally
+    printing the ASCII span tree first)."""
+    from .obs import span_tree, write_chrome_trace
+
+    spans = tracer.snapshot()
+    if tree:
+        print(span_tree(spans))
+    write_chrome_trace(spans, path)
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(
+        f"trace: {len(spans)} spans{dropped} -> {path} "
+        "(open with Perfetto or chrome://tracing)"
+    )
+
+
+def _run_workload(A, args, passthrough) -> "object":
+    """Dispatch one ``repro workload`` / ``repro trace`` run; returns the
+    :class:`~repro.workloads.base.WorkloadReport`."""
     from . import workloads
 
-    A = suitesparse.load(args.matrix, scale=args.scale)
     rng = np.random.default_rng(0)
-    passthrough = dict(kernel=args.kernel, policy=policy_from_args(args))
-
     if args.workload == "pagerank":
         result = workloads.pagerank(
             A, damping=args.damping, tol=args.tol, max_iter=args.iters, **passthrough
@@ -600,6 +683,35 @@ def _cmd_workload(args) -> int:
         )
         result = smoother(S, b, tol=args.tol, max_iter=args.iters, **passthrough)
         report = result.report
+    return report
+
+
+def _cmd_workload(args) -> int:
+    A = suitesparse.load(args.matrix, scale=args.scale)
+    trace_path = getattr(args, "trace", None)
+    engine = None
+    if trace_path:
+        # tracing needs the tracer to outlive the workload, so the CLI
+        # owns the engine and lends it to the workload; the engine's
+        # policy carries the sharded/tuned routing
+        engine = SpMMEngine(
+            SMaTConfig(kernel=args.kernel), policy=policy_from_args(args), cache_size=16
+        )
+        passthrough = dict(kernel=args.kernel, engine=engine)
+    else:
+        passthrough = dict(kernel=args.kernel, policy=policy_from_args(args))
+    try:
+        if engine is not None:
+            # one root span makes the whole run a single stitched trace
+            with engine.tracer.span(
+                "repro.trace", workload=args.workload, matrix=args.matrix
+            ):
+                report = _run_workload(A, args, passthrough)
+        else:
+            report = _run_workload(A, args, passthrough)
+    finally:
+        if engine is not None:
+            engine.close()
 
     title = (
         f"{report.workload} on {args.matrix} (scale={args.scale}): "
@@ -620,7 +732,18 @@ def _cmd_workload(args) -> int:
         f"plan amortization ratio (cold/warm): {report.amortization_ratio:.1f}x "
         f"(cache hits {report.cache_hits}, misses {report.cache_misses})"
     )
+    if engine is not None:
+        _write_trace(
+            engine.tracer, trace_path, tree=getattr(args, "trace_tree", False)
+        )
     return 0
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace``: a traced workload run with span-tree output."""
+    args.trace = args.out
+    args.trace_tree = True
+    return _cmd_workload(args)
 
 
 def _cmd_serve(args) -> int:
@@ -697,6 +820,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tune": _cmd_tune,
         "shard": _cmd_shard,
         "workload": _cmd_workload,
+        "trace": _cmd_trace,
         "serve": _cmd_serve,
         "matrices": _cmd_matrices,
         "kernels": _cmd_kernels,

@@ -31,6 +31,7 @@ __all__ = [
     "add_batch_arg",
     "add_grid_arg",
     "add_shard_mode_arg",
+    "add_trace_arg",
     "policy_from_args",
 ]
 
@@ -146,14 +147,37 @@ def add_shard_mode_arg(
     )
 
 
+def add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    """The ``--trace`` flag: write a Chrome trace of the run to a file.
+
+    Passing it turns tracing on (``ObservabilityConfig(tracing=True)``
+    rides into the policy via :func:`policy_from_args`); the subcommand
+    is responsible for writing the collected spans to the file.
+    """
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record spans and write a Chrome trace-event JSON to FILE "
+        "(open with Perfetto / chrome://tracing)",
+    )
+
+
 def policy_from_args(args: argparse.Namespace, **overrides) -> ExecutionPolicy:
     """The :class:`ExecutionPolicy` described by parsed CLI arguments.
 
     Reads whichever of ``--executor`` / ``--workers`` / ``--tune`` /
-    ``--sharded`` / ``--grid`` / ``--mode`` the subcommand defined
-    (absent flags keep the policy defaults); ``overrides`` win over both.
+    ``--sharded`` / ``--grid`` / ``--mode`` / ``--trace`` the subcommand
+    defined (absent flags keep the policy defaults); ``overrides`` win
+    over both.
     """
+    from .obs import ObservabilityConfig
+
     fields = {}
+    if getattr(args, "trace", None):
+        fields["obs"] = ObservabilityConfig(
+            tracing=True, sample_rate=float(getattr(args, "sample_rate", None) or 1.0)
+        )
     if getattr(args, "executor", None) is not None:
         fields["executor"] = args.executor
     if getattr(args, "workers", None) is not None:

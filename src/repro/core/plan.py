@@ -34,6 +34,7 @@ from ..kernels import (
     SpMMKernel,
     get_kernel,
 )
+from ..obs.trace import NULL_TRACER
 from ..reorder import ReorderResult, get_reorderer
 from ..reorder.base import identity_permutation
 from .config import SMaTConfig
@@ -393,7 +394,7 @@ class ExecutionPlan:
 
 
 def build_with_fallback(
-    A: CSRMatrix, config: SMaTConfig, *, tuner=None
+    A: CSRMatrix, config: SMaTConfig, *, tuner=None, tracer=None
 ) -> ExecutionPlan:
     """Build one plan, falling back to SMaT when the requested backend
     cannot handle the matrix.
@@ -412,7 +413,12 @@ def build_with_fallback(
     tuned path); without one, an ``"auto"`` kernel or reordering is
     resolved here through :func:`~repro.tuner.resolve_auto_config` so the
     failing backend is still known by name on fallback.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) wraps the build attempt in a
+    ``kernel.build`` span and any SMaT rebuild in a ``kernel.fallback``
+    span, so traces show exactly where dispatch failed and why.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     config = config.validate()
     requested = config.resolved_kernel()
     failed = requested
@@ -426,11 +432,16 @@ def build_with_fallback(
         else:
             resolved = config
         failed = resolved.resolved_kernel()
-        return ExecutionPlan.build(A, resolved)
+        with tracer.span("kernel.build", backend=failed) as span:
+            plan = ExecutionPlan.build(A, resolved)
+            span.set(blocks=plan.report.blocks_after)
+            return plan
     except KernelUnsupportedError as exc:
         if "smat" in (requested, failed):
             raise
-        plan = ExecutionPlan.build(A, replace(config, kernel="smat"))
+        with tracer.span("kernel.fallback", requested=failed) as span:
+            plan = ExecutionPlan.build(A, replace(config, kernel="smat"))
+            span.set(blocks=plan.report.blocks_after)
         plan.report.fallback_from = failed if failed != "auto" else requested
         plan.report.fallback_error = str(exc)
         return plan

@@ -23,6 +23,8 @@ import warnings
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
+from ..obs.config import ObservabilityConfig
+
 __all__ = [
     "EXECUTOR_KINDS",
     "ExecutionPolicy",
@@ -95,6 +97,9 @@ class ExecutionPolicy:
     shard_mode: str = "nnz"
     #: latency samples kept for the telemetry percentiles
     latency_window: int = 1024
+    #: tracing/metrics switches (``None`` = tracing off, no-op fast path);
+    #: see :class:`repro.obs.ObservabilityConfig`
+    obs: Optional[ObservabilityConfig] = None
 
     def __post_init__(self) -> None:
         if self.executor is not None and self.executor not in EXECUTOR_KINDS:
@@ -110,6 +115,10 @@ class ExecutionPolicy:
         if int(self.latency_window) < 1:
             raise ValueError(
                 f"latency_window must be >= 1, got {self.latency_window!r}"
+            )
+        if self.obs is not None and not isinstance(self.obs, ObservabilityConfig):
+            raise TypeError(
+                f"obs must be an ObservabilityConfig or None, got {self.obs!r}"
             )
 
     def resolved_executor(self) -> str:

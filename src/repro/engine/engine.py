@@ -56,6 +56,7 @@ from ..core.config import SMaTConfig
 from ..core.plan import ExecutionPlan, MultiplyReport, build_with_fallback, plan_key
 from ..core.policy import ExecutionPolicy, policy_from_legacy
 from ..formats import CSRMatrix
+from ..obs import MetricsRegistry, Tracer
 from .cache import CacheStats, PlanCache
 from .executors import ExecutorTelemetry, ShardExecutor, make_shard_executor
 
@@ -224,6 +225,20 @@ class SpMMEngine:
 
             tuner = Tuner(cache=tuning_cache)
         self.tuner = tuner
+        #: the engine's tracer, built from ``policy.obs`` (no-op unless the
+        #: policy enables tracing); shared with the tuner and shard executor
+        self.tracer = Tracer.from_config(policy.obs)
+        if tuner is not None and getattr(tuner, "tracer", None) is not None:
+            if self.tracer.enabled and not tuner.tracer.enabled:
+                tuner.tracer = self.tracer
+        #: unified metrics: the per-item latency histogram lives here (the
+        #: serving daemon renders this registry under ``?format=prometheus``)
+        self.metrics = MetricsRegistry()
+        self._latency = self.metrics.histogram(
+            "repro_engine_item_wall_ms",
+            "Wall time of one engine item (plan fetch + execute), ms",
+            window=int(policy.latency_window),
+        )
         self._cache = PlanCache(cache_size)
         self._executor: Optional[ThreadPoolExecutor] = None
         self._sharder: Optional[ShardExecutor] = None
@@ -231,9 +246,6 @@ class SpMMEngine:
         self._ticket_lock = threading.Lock()
         self._next_ticket = 0
         self._closed = False
-        self._telemetry_lock = threading.Lock()
-        self._latencies: "deque[float]" = deque(maxlen=policy.latency_window)
-        self._completed = 0
 
     # -- plan management ------------------------------------------------------
     def plan_for(self, A: CSRMatrix, config: Optional[SMaTConfig] = None) -> ExecutionPlan:
@@ -251,9 +263,15 @@ class SpMMEngine:
             # build factory: the plan cache's per-key build lock then also
             # deduplicates concurrent tuning searches for the same matrix
             key = (plan_key(A, cfg), "tuned")
-            return self._cache.get_or_build(key, lambda: self._build_plan(A, cfg, tuned=True))
-        key = plan_key(A, cfg)
-        return self._cache.get_or_build(key, lambda: self._build_plan(A, cfg))
+        else:
+            key = plan_key(A, cfg)
+        tuned = self.tuner is not None
+        with self.tracer.span("plan.lookup", kernel=cfg.kernel) as span:
+            plan, hit = self._cache.get_or_build(
+                key, lambda: self._build_plan(A, cfg, tuned=tuned)
+            )
+            span.set(cache_hit=hit)
+        return plan, hit
 
     def _build_plan(self, A: CSRMatrix, cfg: SMaTConfig, *, tuned: bool = False) -> ExecutionPlan:
         """Build one plan via :func:`~repro.core.plan.build_with_fallback`:
@@ -262,7 +280,15 @@ class SpMMEngine:
         failed backend recorded in the plan's ``PreprocessReport``.  The
         fallback plan is cached under the *requested* key, so the
         unsupported backend is not re-attempted on every query."""
-        return build_with_fallback(A, cfg, tuner=self.tuner if tuned else None)
+        with self.tracer.span("plan.build", tuned=tuned) as span:
+            plan = build_with_fallback(
+                A, cfg, tuner=self.tuner if tuned else None, tracer=self.tracer
+            )
+            span.set(
+                backend=plan.report.backend,
+                fallback_from=plan.report.fallback_from,
+            )
+            return plan
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -301,20 +327,25 @@ class SpMMEngine:
         self._require_open()
         if self.policy.sharded:
             return self.multiply_sharded(A, B, config=config, return_report=return_report)
-        plan, _ = self._plan_with_hit(A, config)
-        C, report = plan.execute(B, keep_permuted=keep_permuted)
+        with self.tracer.span("engine.multiply") as span:
+            plan, hit = self._plan_with_hit(A, config)
+            C, report = plan.execute(B, keep_permuted=keep_permuted)
+            span.set(cache_hit=hit, backend=report.backend)
         if not return_report:
             return C
         return C, report
 
-    def _execute_item(self, index: int, item: BatchItem) -> BatchResult:
-        start = time.perf_counter()
-        plan, hit = self._plan_with_hit(item.A, item.config)
-        C, report = plan.execute(item.B, keep_permuted=item.keep_permuted)
-        wall_ms = 1e3 * (time.perf_counter() - start)
-        with self._telemetry_lock:
-            self._latencies.append(wall_ms)
-            self._completed += 1
+    def _execute_item(self, index: int, item: BatchItem, parent=None) -> BatchResult:
+        """Run one batch item, recording its latency and (when tracing) an
+        ``engine.execute`` span.  ``parent`` carries the submitting
+        thread's span context when the item runs on a pool thread."""
+        with self.tracer.span("engine.execute", parent=parent, index=index) as span:
+            start = time.perf_counter()
+            plan, hit = self._plan_with_hit(item.A, item.config)
+            C, report = plan.execute(item.B, keep_permuted=item.keep_permuted)
+            wall_ms = 1e3 * (time.perf_counter() - start)
+            span.set(cache_hit=hit, backend=report.backend, wall_ms=round(wall_ms, 3))
+        self._latency.observe(wall_ms)
         return BatchResult(
             index=index, tag=item.tag, C=C, report=report, cache_hit=hit, wall_ms=wall_ms
         )
@@ -361,14 +392,19 @@ class SpMMEngine:
         self._require_open()
         items = [self._as_item(w) for w in work]
         start = time.perf_counter()
-        if len(items) <= 1 or self.max_workers == 1:
-            results = [self._execute_item(i, item) for i, item in enumerate(items)]
-        else:
-            executor = self._ensure_executor()
-            futures = [
-                executor.submit(self._execute_item, i, item) for i, item in enumerate(items)
-            ]
-            results = [f.result() for f in futures]
+        with self.tracer.span("engine.multiply_batch", n_items=len(items)):
+            if len(items) <= 1 or self.max_workers == 1:
+                results = [self._execute_item(i, item) for i, item in enumerate(items)]
+            else:
+                # pool threads have their own (empty) span stacks: hand them
+                # the submitting thread's context so item spans stay linked
+                parent = self.tracer.current_context()
+                executor = self._ensure_executor()
+                futures = [
+                    executor.submit(self._execute_item, i, item, parent)
+                    for i, item in enumerate(items)
+                ]
+                results = [f.result() for f in futures]
         wall_ms = 1e3 * (time.perf_counter() - start)
         return BatchOutcome(results=results, summary=self._summarise(results, wall_ms))
 
@@ -432,9 +468,13 @@ class SpMMEngine:
             cfg.resolved_block_shape(),
             n_cols if mode == "cost" else None,
         )
-        partition, _ = self._cache.get_or_build(
-            key, lambda: make_partition(A, g, mode=mode, config=cfg, n_cols=n_cols)
-        )
+        def _build_partition():
+            with self.tracer.span("shard.partition", grid=str(g), mode=mode) as span:
+                partition = make_partition(A, g, mode=mode, config=cfg, n_cols=n_cols)
+                span.set(n_shards=len(partition.shards))
+                return partition
+
+        partition, _ = self._cache.get_or_build(key, _build_partition)
         return partition
 
     @property
@@ -450,6 +490,7 @@ class SpMMEngine:
                 tuner=self.tuner,
                 pool_provider=self._pool_for,
                 max_workers=self.max_workers,
+                tracer=self.tracer,
             )
         return self._sharder
 
@@ -460,13 +501,17 @@ class SpMMEngine:
         executor.  Per-shard tuning applies when the engine tunes."""
         self._require_open()
         cfg = (config or self.config).validate()
-        return self.shard_executor.prepare(partition, cfg)
+        with self.tracer.span("shard.prepare", n_shards=len(partition.shards)):
+            return self.shard_executor.prepare(partition, cfg)
 
     def execute_sharded(self, partition, entries, B: np.ndarray):
         """Scatter-gather one sharded multiply on the policy's shard
         executor; returns ``(C, ShardedReport)``."""
         self._require_open()
-        return self.shard_executor.execute(partition, entries, B)
+        with self.tracer.span("shard.execute", n_shards=len(partition.shards)) as span:
+            C, report = self.shard_executor.execute(partition, entries, B)
+            span.set(wall_ms=round(report.wall_ms, 3))
+            return C, report
 
     def multiply_sharded(
         self,
@@ -495,9 +540,15 @@ class SpMMEngine:
         cfg = (config or self.config).validate()
         B_arr = np.asarray(B)
         n_cols = B_arr.shape[1] if B_arr.ndim == 2 else 1
-        partition = self.partition_for(A, grid, mode=mode, config=cfg, n_cols=n_cols)
-        entries = self.shard_plans_for(partition, cfg)
-        C, report = self.execute_sharded(partition, entries, B)
+        with self.tracer.span(
+            "engine.multiply_sharded",
+            grid=str(grid),
+            mode=mode,
+            executor=self.policy.resolved_executor(),
+        ):
+            partition = self.partition_for(A, grid, mode=mode, config=cfg, n_cols=n_cols)
+            entries = self.shard_plans_for(partition, cfg)
+            C, report = self.execute_sharded(partition, entries, B)
         if not return_report:
             return C
         return C, report
@@ -524,10 +575,13 @@ class SpMMEngine:
         """
         executor = self._ensure_executor()
         item = BatchItem(A, B, tag=tag, config=config)
+        parent = self.tracer.current_context()
         with self._ticket_lock:
             ticket = self._next_ticket
             self._next_ticket += 1
-            self._tickets[ticket] = executor.submit(self._execute_item, ticket, item)
+            self._tickets[ticket] = executor.submit(
+                self._execute_item, ticket, item, parent
+            )
         return ticket
 
     def result(self, ticket: int, timeout: Optional[float] = None) -> BatchResult:
@@ -558,14 +612,11 @@ class SpMMEngine:
         """Operational snapshot: items completed, async queue depth,
         latency percentiles over the recent-latency window, and the
         shard-executor counters (zeros until the first sharded call)."""
-        with self._telemetry_lock:
-            completed = self._completed
-            window = list(self._latencies)
-        if window:
-            lat = np.asarray(window, dtype=np.float64)
-            mean_ms = float(lat.mean())
-            p50_ms = float(np.percentile(lat, 50))
-            p99_ms = float(np.percentile(lat, 99))
+        completed = self._latency.count
+        if completed:
+            mean_ms = self._latency.mean()
+            p50_ms = self._latency.percentile(50)
+            p99_ms = self._latency.percentile(99)
         else:
             mean_ms = p50_ms = p99_ms = 0.0
         if self._sharder is not None:
@@ -605,10 +656,11 @@ class SpMMEngine:
             raise ValueError("stream window must be >= 1")
         in_flight: "deque[Future[BatchResult]]" = deque()
         iterator = enumerate(Bs)
+        parent = self.tracer.current_context()
         try:
             for index, B in iterator:
                 item = BatchItem(A, B, tag=index, config=config)
-                in_flight.append(executor.submit(self._execute_item, index, item))
+                in_flight.append(executor.submit(self._execute_item, index, item, parent))
                 if len(in_flight) >= window:
                     yield in_flight.popleft().result()
             while in_flight:

@@ -35,18 +35,26 @@ __all__ = [
 ]
 
 
-def make_shard_executor(kind: str, *, cache, tuner=None, pool_provider=None, max_workers=4):
+def make_shard_executor(
+    kind: str, *, cache, tuner=None, pool_provider=None, max_workers=4, tracer=None
+):
     """Build the shard executor for one resolved policy.
 
     ``cache`` and ``pool_provider`` serve the thread executor (which
     shares the engine's plan cache and thread pool); the process
     executor only needs the pool width and the tuner (for the persistent
-    tuning-cache path its workers warm from).
+    tuning-cache path its workers warm from).  ``tracer`` (the engine's
+    :class:`repro.obs.Tracer`) makes per-shard and placement spans flow
+    into the engine's trace; ``None`` keeps both executors span-free.
     """
     if kind == "thread":
         return ThreadShardExecutor(
-            cache, tuner=tuner, pool_provider=pool_provider, max_workers=max_workers
+            cache,
+            tuner=tuner,
+            pool_provider=pool_provider,
+            max_workers=max_workers,
+            tracer=tracer,
         )
     if kind == "process":
-        return ProcessShardExecutor(max_workers, tuner=tuner)
+        return ProcessShardExecutor(max_workers, tuner=tuner, tracer=tracer)
     raise ValueError(f"unknown executor kind {kind!r}; use 'thread' or 'process'")

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...obs.trace import NULL_TRACER, SpanContext, Tracer
 from .base import ExecutorTelemetry, ShardExecutor, resolve_tuning_cache_path, validate_operand
 from .placement import Placement, place_shards, predict_shard_cost
 from .shm import SegmentRegistry, attach_segment, ndarray_view
@@ -109,6 +110,12 @@ class ProcessShardExecutor(ShardExecutor):
     context:
         Multiprocessing start method (default: ``$REPRO_MP_CONTEXT`` or
         ``fork`` where available).
+    tracer:
+        Optional :class:`repro.obs.Tracer` (the engine's).  When a span
+        is live at :meth:`execute` time its context travels to the
+        workers inside the run message; workers record their own
+        ``shard.worker.run`` spans and ship them back with the results,
+        where they are stitched into the host trace.
     """
 
     kind = "process"
@@ -119,9 +126,11 @@ class ProcessShardExecutor(ShardExecutor):
         *,
         tuner=None,
         context: Optional[str] = None,
+        tracer=None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._tuned = tuner is not None
         tuning_cache_path = resolve_tuning_cache_path(tuner)
         self._ctx = multiprocessing.get_context(context or _default_context())
@@ -180,8 +189,13 @@ class ProcessShardExecutor(ShardExecutor):
 
         ensure_shard_fingerprints(partition)
         nonempty = [s for s in partition.shards if s.nnz > 0]
-        costs = [predict_shard_cost(s, config) for s in nonempty]
-        placement = place_shards(costs, len(self._workers))
+        with self._tracer.span("shard.placement", workers=len(self._workers)) as span:
+            costs = [predict_shard_cost(s, config) for s in nonempty]
+            placement = place_shards(costs, len(self._workers))
+            span.set(
+                n_shards=len(nonempty),
+                imbalance=round(placement.imbalance, 4),
+            )
 
         with self._lock:
             self._session_counter += 1
@@ -217,14 +231,18 @@ class ProcessShardExecutor(ShardExecutor):
         from ...core.plan import PlanSpec
 
         spec = PlanSpec(config, tuned=self._tuned)
+        trace_ctx = self._tracer.current_context()
+        trace = tuple(trace_ctx) if trace_ctx is not None else None
         for worker, shard_ids in session.worker_shards.items():
             self._task_queue(worker).put(
-                ("load", sid, spec, [descriptors[i] for i in shard_ids])
+                ("load", sid, spec, [descriptors[i] for i in shard_ids], trace)
             )
         infos: Dict[int, dict] = {}
         for msg in self._collect("loaded", sid, expected=len(session.worker_shards)):
             for info in msg[3]:
                 infos[info["index"]] = info
+            if len(msg) > 4 and msg[4]:
+                self._tracer.ingest(msg[4])
 
         worker_of = {
             s.index: w for s, w in zip(nonempty, placement.assignment)
@@ -309,18 +327,27 @@ class ProcessShardExecutor(ShardExecutor):
             self._run_counter += 1
             run_id = f"r{self._run_counter}"
         multi_panel = partition.grid[1] > 1
+        # span context crosses the process boundary as a plain pair; the
+        # workers record child spans against it and ship them back
+        trace_ctx = self._tracer.current_context()
         operands = {
             "b": (b_seg.name, B_arr.dtype.str, B_arr.shape),
             "c": (c_seg.name, out_dtype.str, (A.nrows, n_cols)),
             "multi_panel": multi_panel,
+            "trace": tuple(trace_ctx) if trace_ctx is not None else None,
         }
         for worker in session.worker_shards:
             self._task_queue(worker).put(("run", session.sid, run_id, operands))
 
         shard_reports: Dict[int, dict] = {}
+        worker_spans: List[dict] = []
         for msg in self._collect("ran", run_id, expected=len(session.worker_shards)):
             for rep in msg[3]:
                 shard_reports[rep["index"]] = rep
+            if len(msg) > 4 and msg[4]:
+                worker_spans.extend(msg[4])
+        if worker_spans:
+            self._tracer.ingest(worker_spans)
         wall_ms = 1e3 * (time.perf_counter() - start)
 
         C = C_view.copy()
@@ -548,7 +575,17 @@ def _worker_load(worker_id: int, state: dict, msg: tuple, results) -> None:
     from ...formats import CSRMatrix
     from ...shard.plan import plan_label
 
-    _, sid, spec, descriptors = msg
+    _, sid, spec, descriptors = msg[:4]
+    trace = msg[4] if len(msg) > 4 else None
+    tracer = NULL_TRACER
+    parent = None
+    if trace is not None:
+        tracer = state.get("obs_tracer") or Tracer(enabled=True)
+        state["obs_tracer"] = tracer
+        parent = SpanContext(*trace)
+        if state["tuner"] is not None:
+            # route the worker tuner's spans into the same trace
+            state["tuner"].tracer = tracer
     segments, shards, infos = [], [], []
     cfg_sig = spec.signature()
     for desc in descriptors:
@@ -565,15 +602,23 @@ def _worker_load(worker_id: int, state: dict, msg: tuple, results) -> None:
         plan = state["plans"].get(plan_key)
         cached = plan is not None
         warmup_hits = 0
-        start = time.perf_counter()
-        if plan is None:
-            tuner = state["tuner"]
-            before = tuner.cache.stats.hits if tuner is not None and tuner.cache else 0
-            plan = spec.build(matrix, tuner=tuner)
-            if tuner is not None and tuner.cache is not None:
-                warmup_hits = tuner.cache.stats.hits - before
-            state["plans"][plan_key] = plan
-        build_ms = 1e3 * (time.perf_counter() - start)
+        with tracer.span(
+            "shard.worker.build",
+            parent=parent,
+            worker=worker_id,
+            shard=desc["index"],
+            plan_cached=cached,
+        ) as span:
+            start = time.perf_counter()
+            if plan is None:
+                tuner = state["tuner"]
+                before = tuner.cache.stats.hits if tuner is not None and tuner.cache else 0
+                plan = spec.build(matrix, tuner=tuner)
+                if tuner is not None and tuner.cache is not None:
+                    warmup_hits = tuner.cache.stats.hits - before
+                state["plans"][plan_key] = plan
+            build_ms = 1e3 * (time.perf_counter() - start)
+            span.set(backend=plan.report.backend, build_ms=round(build_ms, 3))
         shards.append((desc, plan))
         infos.append(
             {
@@ -587,7 +632,8 @@ def _worker_load(worker_id: int, state: dict, msg: tuple, results) -> None:
             }
         )
     state["sessions"][sid] = {"segments": segments, "shards": shards}
-    results.put(("loaded", worker_id, sid, infos))
+    spans = [s.to_dict() for s in tracer.drain()] if trace is not None else []
+    results.put(("loaded", worker_id, sid, infos, spans))
 
 
 def _worker_run(worker_id: int, state: dict, msg: tuple, results, gather_locks) -> None:
@@ -600,18 +646,35 @@ def _worker_run(worker_id: int, state: dict, msg: tuple, results, gather_locks) 
     B_view = _operand_view(state, b_name, b_dtype, b_shape)
     C_view = _operand_view(state, c_name, c_dtype, c_shape)
 
+    # host-side tracing: a live span context rides in with the run message;
+    # child spans recorded here travel back as dicts for host-side stitching
+    trace = operands.get("trace")
+    tracer = NULL_TRACER
+    parent = None
+    if trace is not None:
+        tracer = state.get("obs_tracer") or Tracer(enabled=True)
+        state["obs_tracer"] = tracer
+        parent = SpanContext(*trace)
+
     reports = []
     for desc, plan in session["shards"]:
-        start = time.perf_counter()
-        c0, c1 = desc["cols"]
-        r0, r1 = desc["rows"]
-        C_sub, report = plan.execute(B_view[c0:c1])
-        if multi_panel:
-            with gather_locks[desc["pos"][0] % len(gather_locks)]:
-                C_view[r0:r1] += C_sub
-        else:
-            C_view[r0:r1] = C_sub
-        wall_ms = 1e3 * (time.perf_counter() - start)
+        with tracer.span(
+            "shard.worker.run",
+            parent=parent,
+            worker=worker_id,
+            shard=desc["index"],
+        ) as span:
+            start = time.perf_counter()
+            c0, c1 = desc["cols"]
+            r0, r1 = desc["rows"]
+            C_sub, report = plan.execute(B_view[c0:c1])
+            if multi_panel:
+                with gather_locks[desc["pos"][0] % len(gather_locks)]:
+                    C_view[r0:r1] += C_sub
+            else:
+                C_view[r0:r1] = C_sub
+            wall_ms = 1e3 * (time.perf_counter() - start)
+            span.set(backend=plan.report.backend, wall_ms=round(wall_ms, 3))
         reports.append(
             {
                 "index": desc["index"],
@@ -620,7 +683,8 @@ def _worker_run(worker_id: int, state: dict, msg: tuple, results, gather_locks) 
                 "n_blocks": int(report.n_blocks),
             }
         )
-    results.put(("ran", worker_id, run_id, reports))
+    spans = [s.to_dict() for s in tracer.drain()] if trace is not None else []
+    results.put(("ran", worker_id, run_id, reports, spans))
 
 
 def _operand_view(state: dict, name: str, dtype: str, shape) -> np.ndarray:

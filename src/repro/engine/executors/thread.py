@@ -46,6 +46,10 @@ class ThreadShardExecutor(ShardExecutor):
         engine's worker pool (``None`` when concurrency cannot help);
         the executor never owns threads itself, so engine shutdown
         semantics are unchanged.
+    tracer:
+        Optional :class:`repro.obs.Tracer` (the engine's); per-shard
+        ``shard.run`` spans are recorded on the pool threads and linked
+        to the submitting call's span.
     """
 
     kind = "thread"
@@ -57,11 +61,15 @@ class ThreadShardExecutor(ShardExecutor):
         tuner=None,
         pool_provider: Optional[Callable[[int], Optional["ThreadPoolExecutor"]]] = None,
         max_workers: int = 4,
+        tracer=None,
     ):
+        from ...obs.trace import NULL_TRACER
+
         self._cache = cache
         self._tuner = tuner
         self._pool_provider = pool_provider or (lambda n: None)
         self._max_workers = int(max_workers)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._lock = threading.Lock()
         self._shards_executed = 0
         self._sessions: set = set()
@@ -89,7 +97,14 @@ class ThreadShardExecutor(ShardExecutor):
         from ...shard.executor import execute_partition
 
         pool = self._pool_provider(len(entries))
-        C, report = execute_partition(partition, entries, B, executor=pool)
+        C, report = execute_partition(
+            partition,
+            entries,
+            B,
+            executor=pool,
+            tracer=self._tracer,
+            parent=self._tracer.current_context(),
+        )
         with self._lock:
             self._shards_executed += len(report.shards)
         return C, report

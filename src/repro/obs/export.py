@@ -1,0 +1,173 @@
+"""Trace export: Chrome trace-event JSON (Perfetto-loadable) + ASCII tree.
+
+The Chrome trace-event format is the JSON schema understood by
+``chrome://tracing`` and https://ui.perfetto.dev — each finished span maps
+to one ``"ph": "X"`` (complete) event with microsecond timestamps, and each
+process contributing spans gets a ``"ph": "M"`` (metadata) naming event so
+pool workers show up as their own tracks.  :func:`validate_chrome_trace` is
+the schema check used both by the CLI after writing a file and by tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .trace import Span
+
+__all__ = [
+    "chrome_trace",
+    "span_tree",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def chrome_trace(spans: Sequence[Span]) -> Dict[str, Any]:
+    """Convert finished spans into a Chrome trace-event JSON document."""
+    origin = min((s.start_s for s in spans), default=0.0)
+    events: List[Dict[str, Any]] = []
+    seen_pids: Dict[int, bool] = {}
+    for span in spans:
+        if span.pid not in seen_pids:
+            seen_pids[span.pid] = True
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": span.pid,
+                    "tid": 0,
+                    "args": {"name": f"repro pid {span.pid}"},
+                }
+            )
+        args: Dict[str, Any] = dict(span.attrs)
+        args["status"] = span.status
+        if span.error:
+            args["error"] = span.error
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        args["cpu_ms"] = round(span.cpu_ms, 3)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.start_s - origin) * 1e6,
+                "dur": max(0.0, span.wall_ms * 1e3),
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc: Any) -> int:
+    """Check a document against the Chrome trace-event schema.
+
+    Returns the number of ``"X"`` (span) events; raises :class:`ValueError`
+    with the first violation otherwise.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"trace document must be an object, got {type(doc).__name__}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document must have a 'traceEvents' list")
+    n_spans = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            raise ValueError(f"traceEvents[{i}]: unsupported phase {phase!r}")
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{i}]: missing required key {key!r}")
+        if not isinstance(event["name"], str):
+            raise ValueError(f"traceEvents[{i}]: 'name' must be a string")
+        for key in ("pid", "tid"):
+            if not isinstance(event[key], int):
+                raise ValueError(f"traceEvents[{i}]: {key!r} must be an integer")
+        if "args" in event and not isinstance(event["args"], dict):
+            raise ValueError(f"traceEvents[{i}]: 'args' must be an object")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ValueError(
+                        f"traceEvents[{i}]: {key!r} must be a number >= 0"
+                    )
+            n_spans += 1
+    return n_spans
+
+
+def write_chrome_trace(spans: Sequence[Span], path: str) -> Dict[str, Any]:
+    """Validate and write spans to ``path`` as Chrome trace-event JSON."""
+    doc = chrome_trace(spans)
+    validate_chrome_trace(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc
+
+
+def _format_attrs(attrs: Dict[str, Any], limit: int = 48) -> str:
+    """Render span attributes compactly for the ASCII table."""
+    if not attrs:
+        return ""
+    text = " ".join(f"{k}={v}" for k, v in attrs.items())
+    if len(text) > limit:
+        text = text[: limit - 1] + "…"
+    return text
+
+
+def span_tree(spans: Iterable[Span]) -> str:
+    """Render spans as an indented ASCII table (one row per span).
+
+    Children nest under their parents; spans whose parent was not captured
+    (sampling, drops) appear as roots.  Columns: span name (indented),
+    wall ms, CPU ms, status, attributes.
+    """
+    spans = list(spans)
+    if not spans:
+        return "(no spans recorded)"
+    by_id = {s.span_id: s for s in spans}
+    children: Dict[Optional[str], List[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.start_s)
+
+    rows: List[tuple] = []
+
+    def visit(span: Span, depth: int) -> None:
+        """Emit one row and recurse into children."""
+        rows.append(
+            (
+                "  " * depth + span.name,
+                f"{span.wall_ms:.3f}",
+                f"{span.cpu_ms:.3f}",
+                span.status,
+                _format_attrs(span.attrs),
+            )
+        )
+        for child in children.get(span.span_id, []):
+            visit(child, depth + 1)
+
+    for root in children.get(None, []):
+        visit(root, 0)
+
+    header = ("span", "wall_ms", "cpu_ms", "status", "attrs")
+    widths = [
+        max(len(header[i]), max(len(row[i]) for row in rows)) for i in range(5)
+    ]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(5)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(5)).rstrip(),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(5)).rstrip())
+    return "\n".join(lines)

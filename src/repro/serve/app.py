@@ -46,7 +46,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterator, Optional, TextIO, Tuple, Union
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
@@ -237,6 +237,13 @@ class SpMMServer:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    @property
+    def tracer(self):
+        """The engine's :class:`repro.obs.Tracer` (no-op unless the
+        engine's policy enables tracing); ``http.request`` spans are
+        recorded against it so one trace covers HTTP entry to worker."""
+        return self.engine.tracer
+
     # -- logging --------------------------------------------------------------
     def log_event(self, event: str, **fields: object) -> None:
         """Emit one structured JSON log line (no-op without a stream)."""
@@ -312,6 +319,13 @@ class SpMMServer:
     def handle_metrics(self) -> Tuple[int, Dict[str, object]]:
         """The full metrics document (see :mod:`repro.serve.metrics`)."""
         return 200, self.metrics.snapshot(
+            engine=self.engine, registry=self.registry, admission=self.admission
+        )
+
+    def handle_metrics_prometheus(self) -> str:
+        """``GET /metrics?format=prometheus``: text exposition rendering
+        of the same registry (version 0.0.4)."""
+        return self.metrics.prometheus(
             engine=self.engine, registry=self.registry, admission=self.admission
         )
 
@@ -472,6 +486,18 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str, *, request_id: str) -> None:
+        """Write a plain-text response (the Prometheus exposition)."""
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-ID", request_id)
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
     def _send_ndjson_stream(
         self, records: Iterator[Dict[str, object]], *, request_id: str
     ) -> int:
@@ -557,89 +583,110 @@ class _Handler(BaseHTTPRequestHandler):
         app = self.app
         request_id = uuid.uuid4().hex[:12]
         start = time.perf_counter()
-        path = urlsplit(self.path).path.rstrip("/") or "/"
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
         endpoint = f"{method} {path}"
         tenant_name: Optional[str] = None
         status = 500
         bytes_in = 0
         rejected: Optional[str] = None
         self._body_consumed = False
-        try:
-            if method == "GET" and path == "/healthz":
-                status, payload = app.handle_healthz()
-                self._send_json(status, payload, request_id=request_id)
-                return
-            if method == "GET" and path == "/metrics":
-                status, payload = app.handle_metrics()
-                self._send_json(status, payload, request_id=request_id)
-                return
-
-            tenant = app.auth.authenticate(self.headers.get("Authorization"))
-            tenant_name = tenant.name
-
-            if method == "GET" and path.startswith("/jobs/"):
-                endpoint = "GET /jobs/{id}"
-                status, payload = app.handle_poll(tenant, path[len("/jobs/") :])
-            elif method == "GET" and path == "/matrices":
-                status, payload = app.handle_list_matrices(tenant)
-            elif method == "POST" and path == "/matrices":
-                body, bytes_in = self._read_json_body()
-                status, payload = app.handle_register(tenant, body)
-            elif method == "POST" and path == "/multiply":
-                body, bytes_in = self._read_json_body()
-                status, payload = app.handle_multiply(tenant, body)
-            elif method == "POST" and path == "/jobs":
-                body, bytes_in = self._read_json_body()
-                status, payload = app.handle_submit(tenant, body)
-            elif method == "POST" and path == "/stream":
-                body, bytes_in = self._read_json_body()
-                records = app.handle_stream(tenant, body)
-                status = 200
-                self._send_ndjson_stream(records, request_id=request_id)
-                return
-            else:
-                raise NotFound(f"no such endpoint: {endpoint}")
-            self._send_json(status, payload, request_id=request_id)
-        except ApiError as exc:
-            status = exc.status
-            rejected = exc.code if status in (401, 413, 429) else None
-            self._drain_body()
-            self._send_json(
-                status,
-                {"error": {"code": exc.code, "message": str(exc)}},
-                request_id=request_id,
-                retry_after=exc.retry_after,
-            )
-        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
-            status = 499  # client went away mid-response; nothing to send
-        except Exception as exc:  # unexpected: surface as a 500 envelope
-            status = 500
+        # the request span is the trace root: engine spans triggered by
+        # the handlers nest under it, tying HTTP entry to kernel runs
+        with app.tracer.span(
+            "http.request", method=method, path=path, request_id=request_id
+        ) as span:
             try:
+                if method == "GET" and path == "/healthz":
+                    status, payload = app.handle_healthz()
+                    self._send_json(status, payload, request_id=request_id)
+                    return
+                if method == "GET" and path == "/metrics":
+                    fmt = parse_qs(parts.query).get("format", ["json"])[0]
+                    if fmt == "prometheus":
+                        status = 200
+                        self._send_text(
+                            status, app.handle_metrics_prometheus(), request_id=request_id
+                        )
+                        return
+                    status, payload = app.handle_metrics()
+                    self._send_json(status, payload, request_id=request_id)
+                    return
+
+                tenant = app.auth.authenticate(self.headers.get("Authorization"))
+                tenant_name = tenant.name
+
+                if method == "GET" and path.startswith("/jobs/"):
+                    endpoint = "GET /jobs/{id}"
+                    status, payload = app.handle_poll(tenant, path[len("/jobs/") :])
+                elif method == "GET" and path == "/matrices":
+                    status, payload = app.handle_list_matrices(tenant)
+                elif method == "POST" and path == "/matrices":
+                    body, bytes_in = self._read_json_body()
+                    status, payload = app.handle_register(tenant, body)
+                elif method == "POST" and path == "/multiply":
+                    body, bytes_in = self._read_json_body()
+                    status, payload = app.handle_multiply(tenant, body)
+                elif method == "POST" and path == "/jobs":
+                    body, bytes_in = self._read_json_body()
+                    status, payload = app.handle_submit(tenant, body)
+                elif method == "POST" and path == "/stream":
+                    body, bytes_in = self._read_json_body()
+                    records = app.handle_stream(tenant, body)
+                    status = 200
+                    self._send_ndjson_stream(records, request_id=request_id)
+                    return
+                else:
+                    raise NotFound(f"no such endpoint: {endpoint}")
+                self._send_json(status, payload, request_id=request_id)
+            except ApiError as exc:
+                status = exc.status
+                rejected = exc.code if status in (401, 413, 429) else None
                 self._drain_body()
                 self._send_json(
                     status,
-                    {"error": {"code": "internal", "message": str(exc)}},
+                    {"error": {"code": exc.code, "message": str(exc)}},
                     request_id=request_id,
+                    retry_after=exc.retry_after,
                 )
             except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
-                pass
-        finally:
-            wall_ms = 1e3 * (time.perf_counter() - start)
-            app.metrics.record_request(
-                endpoint=endpoint,
-                tenant=tenant_name,
-                status=status,
-                wall_ms=wall_ms,
-                bytes_in=bytes_in,
-                rejected=rejected,
-            )
-            app.log_event(
-                "request",
-                request_id=request_id,
-                method=method,
-                path=path,
-                tenant=tenant_name,
-                status=status,
-                wall_ms=round(wall_ms, 3),
-                bytes_in=bytes_in,
-            )
+                status = 499  # client went away mid-response; nothing to send
+            except Exception as exc:  # unexpected: surface as a 500 envelope
+                status = 500
+                try:
+                    self._drain_body()
+                    self._send_json(
+                        status,
+                        {"error": {"code": "internal", "message": str(exc)}},
+                        request_id=request_id,
+                    )
+                except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+                    pass
+            finally:
+                wall_ms = 1e3 * (time.perf_counter() - start)
+                span.set(endpoint=endpoint, status=status)
+                if tenant_name is not None:
+                    span.set(tenant=tenant_name)
+                if status >= 400:
+                    span.mark_error(rejected or f"http {status}")
+                ctx = span.context if span.recording else None
+                app.metrics.record_request(
+                    endpoint=endpoint,
+                    tenant=tenant_name,
+                    status=status,
+                    wall_ms=wall_ms,
+                    bytes_in=bytes_in,
+                    rejected=rejected,
+                )
+                app.log_event(
+                    "request",
+                    request_id=request_id,
+                    method=method,
+                    path=path,
+                    tenant=tenant_name,
+                    status=status,
+                    wall_ms=round(wall_ms, 3),
+                    bytes_in=bytes_in,
+                    trace_id=ctx.trace_id if ctx is not None else None,
+                    span_id=ctx.span_id if ctx is not None else None,
+                )

@@ -8,47 +8,53 @@ percentiles over a bounded recent window, and the pass-through snapshots
 of the engine (:meth:`~repro.engine.SpMMEngine.telemetry`) and its plan
 cache.  All counters are monotonic since process start -- scrape twice
 and diff, exactly like any other counter-based metrics endpoint.
+
+Since the observability PR the numbers live in one
+:class:`repro.obs.MetricsRegistry` (labelled counters + one exponential
+histogram) instead of three ad-hoc implementations; the JSON document is
+a *view* over that registry with its historical shape intact, and
+``/metrics?format=prometheus`` renders the same registry as text
+exposition via :meth:`ServerMetrics.prometheus`.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import Counter, deque
 from typing import Dict, Optional
 
-import numpy as np
+from ..obs import Histogram, MetricsRegistry
 
 __all__ = ["LatencyWindow", "ServerMetrics"]
 
 
 class LatencyWindow:
-    """Bounded reservoir of recent latencies with percentile snapshots."""
+    """Bounded reservoir of recent latencies with percentile snapshots.
 
-    def __init__(self, maxlen: int = 2048):
-        self._window: "deque[float]" = deque(maxlen=maxlen)
-        self._count = 0
-        self._lock = threading.Lock()
+    Back-compat facade: the samples now live in a
+    :class:`repro.obs.Histogram` (exponential buckets + raw window), and
+    :meth:`snapshot` keeps the historical key names and numerics.
+    """
+
+    def __init__(self, maxlen: int = 2048, histogram: Optional[Histogram] = None):
+        """Wrap ``histogram`` (or a private one bounded at ``maxlen``)."""
+        self._hist = histogram or Histogram(
+            "latency_ms", "request latency (ms)", window=maxlen
+        )
 
     def record(self, wall_ms: float) -> None:
         """Add one observation (milliseconds)."""
-        with self._lock:
-            self._window.append(float(wall_ms))
-            self._count += 1
+        self._hist.observe(float(wall_ms))
 
     def snapshot(self) -> Dict[str, float]:
         """JSON-ready summary: count plus mean/p50/p99 over the window."""
-        with self._lock:
-            count = self._count
-            window = list(self._window)
-        if not window:
+        count = self._hist.count
+        if count == 0:
             return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p99_ms": 0.0}
-        lat = np.asarray(window, dtype=np.float64)
         return {
             "count": count,
-            "mean_ms": float(lat.mean()),
-            "p50_ms": float(np.percentile(lat, 50)),
-            "p99_ms": float(np.percentile(lat, 99)),
+            "mean_ms": float(self._hist.mean()),
+            "p50_ms": float(self._hist.percentile(50)),
+            "p99_ms": float(self._hist.percentile(99)),
         }
 
 
@@ -56,16 +62,33 @@ class ServerMetrics:
     """Thread-safe counters behind the ``/metrics`` endpoint."""
 
     def __init__(self, latency_window: int = 2048):
+        """Create the registry and all request-path series at zero."""
         self._started = time.time()
-        self._lock = threading.Lock()
-        self._requests_total = 0
-        self._by_endpoint: "Counter[str]" = Counter()
-        self._by_tenant: "Counter[str]" = Counter()
-        self._by_status: "Counter[str]" = Counter()
-        self._rejected: "Counter[str]" = Counter()
-        self._bytes_in = 0
-        self._results_streamed = 0
-        self.latency = LatencyWindow(latency_window)
+        self.registry = MetricsRegistry()
+        self._requests = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests by endpoint, tenant and status",
+            labels=("endpoint", "tenant", "status"),
+        )
+        self._rejected = self.registry.counter(
+            "repro_http_rejected_total",
+            "Requests rejected, by reason (auth/quota/overload/payload)",
+            labels=("reason",),
+        )
+        self._bytes_in = self.registry.counter(
+            "repro_http_bytes_in_total", "Request payload bytes ingested"
+        )
+        self._streamed = self.registry.counter(
+            "repro_http_results_streamed_total",
+            "Results yielded by streaming responses",
+        )
+        self.latency = LatencyWindow(
+            histogram=self.registry.histogram(
+                "repro_http_request_wall_ms",
+                "Wall time of successful requests (ms)",
+                window=latency_window,
+            )
+        )
 
     def record_request(
         self,
@@ -78,28 +101,29 @@ class ServerMetrics:
         rejected: Optional[str] = None,
     ) -> None:
         """Account one finished request (any status)."""
-        with self._lock:
-            self._requests_total += 1
-            self._by_endpoint[endpoint] += 1
-            if tenant:
-                self._by_tenant[tenant] += 1
-            self._by_status[str(status)] += 1
-            self._bytes_in += int(bytes_in)
-            if rejected:
-                self._rejected[rejected] += 1
+        self._requests.inc(
+            endpoint=endpoint, tenant=tenant or "", status=str(status)
+        )
+        if bytes_in:
+            self._bytes_in.inc(int(bytes_in))
+        if rejected:
+            self._rejected.inc(reason=rejected)
         if status < 400:
             self.latency.record(wall_ms)
 
     def record_streamed(self, n_results: int) -> None:
         """Account results yielded by streaming responses."""
-        with self._lock:
-            self._results_streamed += int(n_results)
+        self._streamed.inc(int(n_results))
 
     @property
     def requests_total(self) -> int:
         """Requests accounted so far (any endpoint, any status)."""
-        with self._lock:
-            return self._requests_total
+        return int(self._requests.total())
+
+    @staticmethod
+    def _int_dict(values: Dict[str, float]) -> Dict[str, int]:
+        """Counter aggregations as the historical ``str -> int`` JSON maps."""
+        return {k: int(v) for k, v in values.items()}
 
     def snapshot(self, *, engine=None, registry=None, admission=None) -> Dict[str, object]:
         """The full ``/metrics`` JSON document.
@@ -108,17 +132,18 @@ class ServerMetrics:
         (plan-cache counters, engine telemetry, matrices registered,
         queue depth) when provided.
         """
-        with self._lock:
-            doc: Dict[str, object] = {
-                "uptime_s": time.time() - self._started,
-                "requests_total": self._requests_total,
-                "requests_by_endpoint": dict(self._by_endpoint),
-                "requests_by_tenant": dict(self._by_tenant),
-                "responses_by_status": dict(self._by_status),
-                "rejected": dict(self._rejected),
-                "bytes_in": self._bytes_in,
-                "results_streamed": self._results_streamed,
-            }
+        by_tenant = self._int_dict(self._requests.sum_by("tenant"))
+        by_tenant.pop("", None)  # anonymous requests were never per-tenant
+        doc: Dict[str, object] = {
+            "uptime_s": time.time() - self._started,
+            "requests_total": int(self._requests.total()),
+            "requests_by_endpoint": self._int_dict(self._requests.sum_by("endpoint")),
+            "requests_by_tenant": by_tenant,
+            "responses_by_status": self._int_dict(self._requests.sum_by("status")),
+            "rejected": self._int_dict(self._rejected.sum_by("reason")),
+            "bytes_in": int(self._bytes_in.total()),
+            "results_streamed": int(self._streamed.total()),
+        }
         doc["latency_ms"] = self.latency.snapshot()
         if admission is not None:
             doc["admission"] = {
@@ -165,3 +190,49 @@ class ServerMetrics:
         if registry is not None:
             doc["matrices_registered"] = registry.count()
         return doc
+
+    def prometheus(self, *, engine=None, registry=None, admission=None) -> str:
+        """``/metrics?format=prometheus``: text exposition of the registry.
+
+        Live gauges (uptime, admission queue, plan cache, engine telemetry,
+        matrix registry size) are refreshed into the registry first, then
+        everything — including the engine's own per-item latency histogram —
+        is rendered in one pass.
+        """
+        self.registry.gauge(
+            "repro_http_uptime_seconds", "Seconds since server start"
+        ).set(time.time() - self._started)
+        if admission is not None:
+            gauge = self.registry.gauge(
+                "repro_admission", "Admission controller state", labels=("state",)
+            )
+            gauge.set(admission.inflight, state="inflight")
+            gauge.set(admission.queued, state="queued")
+            gauge.set(admission.depth, state="queue_depth")
+            gauge.set(admission.rejected, state="rejected")
+        if registry is not None:
+            self.registry.gauge(
+                "repro_matrices_registered", "Matrices in the registry"
+            ).set(registry.count())
+        parts = []
+        if engine is not None:
+            stats = engine.cache_stats
+            cache_gauge = self.registry.gauge(
+                "repro_plan_cache", "Plan cache counters", labels=("event",)
+            )
+            cache_gauge.set(stats.hits, event="hits")
+            cache_gauge.set(stats.misses, event="misses")
+            cache_gauge.set(stats.evictions, event="evictions")
+            cache_gauge.set(stats.size, event="size")
+            telemetry = engine.telemetry()
+            self.registry.gauge(
+                "repro_engine_completed_items", "Items the engine completed"
+            ).set(telemetry.completed)
+            self.registry.gauge(
+                "repro_engine_queue_depth", "Async jobs not yet collected"
+            ).set(telemetry.queue_depth)
+            engine_registry = getattr(engine, "metrics", None)
+            if engine_registry is not None:
+                parts.append(engine_registry.render_prometheus())
+        parts.insert(0, self.registry.render_prometheus())
+        return "".join(parts)

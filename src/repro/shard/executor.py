@@ -26,6 +26,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.trace import NULL_TRACER
 from .partition import Partition
 from .plan import ShardPlanEntry
 
@@ -143,13 +144,20 @@ def execute_partition(
     B: np.ndarray,
     *,
     executor=None,
+    tracer=None,
+    parent=None,
 ) -> Tuple[np.ndarray, ShardedReport]:
     """Run every shard against ``B`` and gather the full ``C = A @ B``.
 
     ``entries`` must correspond one-to-one (and in order) to
     ``partition.shards``; ``executor`` is an optional
     ``concurrent.futures`` executor for concurrent shard runs.
+    ``tracer``/``parent`` (a :class:`repro.obs.Tracer` and the caller's
+    span context) record one ``shard.run`` span per non-empty shard --
+    ``parent`` is explicit because shards run on pool threads whose span
+    stacks are empty.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     A = partition.A
     B_arr = np.asarray(B)
     was_vector = B_arr.ndim == 1
@@ -175,14 +183,18 @@ def execute_partition(
         shard = entry.shard
         if entry.plan is None:  # empty shard: contributes nothing
             return _shard_report(entry, ideal_nnz, 0.0, 0.0, 0)
-        start = time.perf_counter()
-        C_sub, report = entry.plan.execute(B_arr[shard.col_start : shard.col_stop])
-        if multi_panel:
-            with panel_locks[shard.pos[0]]:
-                C[shard.row_start : shard.row_stop] += C_sub
-        else:
-            C[shard.row_start : shard.row_stop] = C_sub
-        wall_ms = 1e3 * (time.perf_counter() - start)
+        with tracer.span(
+            "shard.run", parent=parent, shard=shard.index, backend=entry.backend
+        ) as span:
+            start = time.perf_counter()
+            C_sub, report = entry.plan.execute(B_arr[shard.col_start : shard.col_stop])
+            if multi_panel:
+                with panel_locks[shard.pos[0]]:
+                    C[shard.row_start : shard.row_stop] += C_sub
+            else:
+                C[shard.row_start : shard.row_stop] = C_sub
+            wall_ms = 1e3 * (time.perf_counter() - start)
+            span.set(nnz=shard.nnz, wall_ms=round(wall_ms, 3))
         return _shard_report(entry, ideal_nnz, report.simulated_ms, wall_ms, report.n_blocks)
 
     start = time.perf_counter()

@@ -262,6 +262,7 @@ class Tuner:
         max_measure: int = 8,
         repeats: int = 1,
         seed: int = 0,
+        tracer=None,
     ):
         if cache is False:
             self.cache: Optional[TuningCache] = None
@@ -281,6 +282,11 @@ class Tuner:
         self.max_measure = int(max_measure)
         self.repeats = int(repeats)
         self.seed = int(seed)
+        # the engine shares its tracer after construction; a bare tuner
+        # stays on the disabled (no-op) one
+        from ..obs.trace import NULL_TRACER
+
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- space ----------------------------------------------------------------
     def _space(self, config: SMaTConfig) -> List[Candidate]:
@@ -342,6 +348,25 @@ class Tuner:
         one is configured); see :meth:`resolve` for the read-through
         entry point.
         """
+        with self.tracer.span("tuner.search") as span:
+            result = self._tune(A, config, store=store)
+            span.set(
+                candidates=len(result.outcomes),
+                measured=sum(1 for o in result.outcomes if o.measured),
+                pruned=sum(1 for o in result.outcomes if o.pruned),
+                winner=result.best.candidate.label,
+                search_ms=round(result.search_ms, 2),
+            )
+            return result
+
+    def _tune(
+        self,
+        A: CSRMatrix,
+        config: Optional[SMaTConfig] = None,
+        *,
+        store: bool = False,
+    ) -> TuningResult:
+        """The search body behind :meth:`tune` (span-free)."""
         base = (config or SMaTConfig()).validate()
         space = self._space(base)
         default = self._default_candidate(base)
@@ -498,15 +523,20 @@ class Tuner:
         if self.cache is not None:
             entry = self.cache.get(self.key_for(A, base))
             if entry is not None:
-                cand = Candidate(
-                    block_shape=(int(entry["block_shape"][0]), int(entry["block_shape"][1])),
-                    reorder=str(entry["reorder"]),
-                    reorder_columns=bool(entry.get("reorder_columns", False)),
-                    reorder_params=dict(entry.get("reorder_params", {})),
-                    kernel=str(entry.get("kernel", "smat")),
-                )
-                return cand.expand(base)
-        return self.tune(A, base, store=True).best_config
+                with self.tracer.span("tuner.resolve", cache_hit=True):
+                    cand = Candidate(
+                        block_shape=(
+                            int(entry["block_shape"][0]),
+                            int(entry["block_shape"][1]),
+                        ),
+                        reorder=str(entry["reorder"]),
+                        reorder_columns=bool(entry.get("reorder_columns", False)),
+                        reorder_params=dict(entry.get("reorder_params", {})),
+                        kernel=str(entry.get("kernel", "smat")),
+                    )
+                    return cand.expand(base)
+        with self.tracer.span("tuner.resolve", cache_hit=False):
+            return self.tune(A, base, store=True).best_config
 
 
 def tune(A: CSRMatrix, config: Optional[SMaTConfig] = None, **tuner_kwargs) -> TuningResult:

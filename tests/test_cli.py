@@ -386,3 +386,72 @@ class TestCommands:
             main(["workload", "--kernel", "tensorrt"])
         assert excinfo.value.code == 2
         assert "invalid choice" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.matrix == "cant"
+        assert args.workload == "pagerank"
+        assert args.out == "trace.json"
+        assert args.sample_rate == 1.0
+
+    def test_trace_flag_registered_on_engine_and_workload(self):
+        args = build_parser().parse_args(["engine", "--trace", "t.json"])
+        assert args.trace == "t.json"
+        args = build_parser().parse_args(["workload", "--trace", "t.json"])
+        assert args.trace == "t.json"
+
+    def test_trace_command_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        code = main([
+            "trace", "--matrix", "cant", "--scale", "0.05",
+            "--workload", "pagerank", "--iters", "3", "--out", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        # the ASCII span tree and the run's tables share stdout
+        assert "repro.trace" in printed
+        assert "engine.multiply" in printed
+        assert "plan.lookup" in printed
+        assert f"-> {out}" in printed
+        doc = json.loads(out.read_text())
+        n_events = validate_chrome_trace(doc)
+        assert n_events >= 5
+
+    def test_workload_trace_flag_writes_file(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "wl.json"
+        code = main([
+            "workload", "--matrix", "cant", "--scale", "0.05",
+            "--workload", "pagerank", "--iters", "3", "--trace", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        # --trace stays quiet (no span tree), just the summary line
+        assert "repro.trace" not in printed.split("amortization")[1]
+        assert validate_chrome_trace(json.loads(out.read_text())) >= 5
+
+    def test_engine_trace_flag_writes_file(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "engine.json"
+        code = main([
+            "engine", "--matrix", "cant", "--scale", "0.05", "--batch", "2",
+            "--workers", "1", "--trace", str(out),
+        ])
+        assert code == 0
+        assert "trace:" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) >= 2
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "engine.execute" in names

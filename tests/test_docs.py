@@ -25,6 +25,7 @@ DOC_FILES = [
     REPO_ROOT / "README.md",
     REPO_ROOT / "docs" / "architecture.md",
     REPO_ROOT / "docs" / "serving.md",
+    REPO_ROOT / "docs" / "observability.md",
 ]
 
 
