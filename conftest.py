@@ -3,12 +3,29 @@
 Adds ``src/`` to ``sys.path`` so the test and benchmark suites run even
 when the package has not been installed (useful in offline environments
 where ``pip install -e .`` cannot build an editable wheel; see README
-"Installation").
+"Installation"), and runs the deterministic-seed audit
+(:mod:`repro.analysis.seedcheck`) over ``tests/`` and ``benchmarks/``
+after collection: any unseeded ``default_rng()`` / ``random.Random()``
+in test code fails the session before a single test runs.
 """
 
 import sys
 from pathlib import Path
 
-_SRC = Path(__file__).resolve().parent / "src"
+_ROOT = Path(__file__).resolve().parent
+_SRC = _ROOT / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_collection_finish(session):
+    """Fail the run on unseeded RNG construction in tests/ or benchmarks/."""
+    from repro.analysis.seedcheck import audit_paths
+
+    violations = audit_paths([_ROOT / "tests", _ROOT / "benchmarks"])
+    if violations:
+        lines = "\n".join(f"  {v}" for v in violations)
+        raise RuntimeError(
+            "deterministic-seed audit failed: every RNG in test code needs "
+            f"an explicit seed (or a '# seedcheck: allow' comment):\n{lines}"
+        )

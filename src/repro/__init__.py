@@ -43,6 +43,7 @@ from .core import (
     LibraryMeasurement,
     LinearPerformanceModel,
     MultiplyReport,
+    OnlineTuningConfig,
     PreprocessReport,
     SMaT,
     SMaTConfig,
@@ -71,6 +72,7 @@ __all__ = [
     "SMaT",
     "SMaTConfig",
     "ExecutionPolicy",
+    "OnlineTuningConfig",
     "SpMMEngine",
     "SpMMServer",
     "SpMMClient",

@@ -6,6 +6,7 @@ from .doccheck import check_file, extract_code_blocks, rescale_source
 from .export import measurements_to_rows, rows_to_csv, rows_to_json
 from .regression import MetricComparison, compare_metrics, extract_metrics
 from .report import format_speedup_summary, format_table, series_to_rows
+from .seedcheck import SeedViolation, audit_paths, audit_source
 from .stats import (
     DistributionSummary,
     coefficient_of_variation,
@@ -28,6 +29,9 @@ __all__ = [
     "format_table",
     "format_speedup_summary",
     "series_to_rows",
+    "SeedViolation",
+    "audit_paths",
+    "audit_source",
     "geometric_mean",
     "coefficient_of_variation",
     "speedup_summary",

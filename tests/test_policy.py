@@ -11,6 +11,7 @@ from repro.core.plan import PlanSpec
 from repro.core.policy import (
     EXECUTOR_ENV,
     ExecutionPolicy,
+    OnlineTuningConfig,
     default_executor,
     policy_from_legacy,
 )
@@ -35,6 +36,7 @@ class TestPolicyValue:
         assert policy.grid == 4
         assert policy.shard_mode == "nnz"
         assert policy.latency_window == 1024
+        assert policy.online_tune is None
 
     def test_frozen(self):
         with pytest.raises(AttributeError):
@@ -62,6 +64,19 @@ class TestPolicyValue:
     def test_picklable(self):
         policy = ExecutionPolicy(executor="process", grid="2x2", tune=True)
         assert pickle.loads(pickle.dumps(policy)) == policy
+
+    def test_online_tune_rides_along(self):
+        cfg = OnlineTuningConfig(explore=0.25)
+        policy = ExecutionPolicy(online_tune=cfg)
+        assert policy.online_tune == cfg
+        assert pickle.loads(pickle.dumps(policy)) == policy
+        hash(policy)  # still hashable with the nested frozen config
+
+    def test_online_tune_replace(self):
+        base = ExecutionPolicy()
+        enabled = base.replace(online_tune=OnlineTuningConfig())
+        assert base.online_tune is None
+        assert enabled.online_tune == OnlineTuningConfig()
 
 
 class TestEnvResolution:

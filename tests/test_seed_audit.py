@@ -1,0 +1,88 @@
+"""Tests for the deterministic-seed audit (repro.analysis.seedcheck)."""
+
+from pathlib import Path
+
+from repro.analysis.seedcheck import audit_paths, audit_source
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _calls(source):
+    return [v.call for v in audit_source(source)]
+
+
+class TestAuditSource:
+    def test_flags_bare_default_rng(self):
+        assert _calls("rng = default_rng()") == ["default_rng()"]
+
+    def test_flags_qualified_default_rng(self):
+        assert len(_calls("import numpy as np\nrng = np.random.default_rng()")) == 1
+
+    def test_flags_none_seed(self):
+        assert len(_calls("rng = default_rng(None)")) == 1
+        assert len(_calls("rng = default_rng(seed=None)")) == 1
+
+    def test_flags_stdlib_random(self):
+        assert len(_calls("import random\nr = random.Random()")) == 1
+        assert len(_calls("from random import Random\nr = Random()")) == 1
+
+    def test_flags_unseeded_reseed(self):
+        assert len(_calls("import numpy as np\nnp.random.seed()")) == 1
+
+    def test_accepts_explicit_seeds(self):
+        clean = "\n".join(
+            [
+                "import random",
+                "import numpy as np",
+                "a = np.random.default_rng(1234)",
+                "b = np.random.default_rng(seed=7)",
+                "c = random.Random(42)",
+                "np.random.seed(0)",
+            ]
+        )
+        assert _calls(clean) == []
+
+    def test_accepts_variable_seed(self):
+        assert _calls("rng = default_rng(seed_value)") == []
+
+    def test_allow_marker_exempts_line(self):
+        src = "rng = default_rng()  # seedcheck: allow"
+        assert _calls(src) == []
+
+    def test_unrelated_calls_ignored(self):
+        assert _calls("x = foo()\ny = bar(None)\nobj.seed(5)") == []
+
+    def test_violation_reports_location(self):
+        out = audit_source("x = 1\nrng = default_rng()\n", path="mod.py")
+        assert len(out) == 1
+        assert out[0].path == "mod.py"
+        assert out[0].line == 2
+        assert "mod.py:2" in str(out[0])
+
+    def test_syntax_error_is_not_a_violation(self):
+        assert audit_source("def broken(:\n") == []
+
+
+class TestAuditPaths:
+    def test_walks_directories(self, tmp_path):
+        (tmp_path / "ok.py").write_text("rng = default_rng(3)\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "bad.py").write_text("rng = default_rng()\n")
+        out = audit_paths([tmp_path])
+        assert [Path(v.path).name for v in out] == ["bad.py"]
+
+    def test_accepts_single_file(self, tmp_path):
+        f = tmp_path / "one.py"
+        f.write_text("import random\nr = random.Random()\n")
+        assert len(audit_paths([f])) == 1
+
+    def test_skips_non_python(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("default_rng()")
+        assert audit_paths([tmp_path / "notes.txt"]) == []
+
+
+def test_repo_test_suites_are_seeded():
+    """The enforced invariant itself: tests/ and benchmarks/ are clean."""
+    violations = audit_paths([ROOT / "tests", ROOT / "benchmarks"])
+    assert violations == [], "\n".join(str(v) for v in violations)

@@ -1,0 +1,71 @@
+"""Cross-process TuningCache writers must not lose each other's entries.
+
+Regression test for the read-modify-write race: two processes that load
+the same snapshot, each add their own key, and write back would -- before
+the file lock -- have the second ``os.replace`` clobber the first
+writer's entry.  Every entry written by every process must survive.
+"""
+
+import json
+import multiprocessing
+
+from repro.tuner import TuningCache
+
+N_PROCS = 4
+KEYS_PER_PROC = 6
+
+
+def _writer(path, proc_index, start_event):
+    """Hammer the shared cache file with this process's own keys."""
+    start_event.wait(timeout=30)
+    cache = TuningCache(path)
+    for i in range(KEYS_PER_PROC):
+        cache.put(f"proc{proc_index}:key{i}", {"proc": proc_index, "i": i})
+
+
+def test_concurrent_process_writers_lose_nothing(tmp_path):
+    path = tmp_path / "tuning_cache.json"
+    ctx = multiprocessing.get_context("spawn")
+    start = ctx.Event()
+    procs = [
+        ctx.Process(target=_writer, args=(str(path), p, start))
+        for p in range(N_PROCS)
+    ]
+    for proc in procs:
+        proc.start()
+    start.set()  # release everyone at once to maximise interleaving
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+
+    cache = TuningCache(path)
+    assert len(cache) == N_PROCS * KEYS_PER_PROC
+    for p in range(N_PROCS):
+        for i in range(KEYS_PER_PROC):
+            assert cache.get(f"proc{p}:key{i}") == {"proc": p, "i": i}
+
+    # the file itself must be valid JSON with the schema envelope
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert len(payload["entries"]) == N_PROCS * KEYS_PER_PROC
+
+
+def test_thread_writers_lose_nothing(tmp_path):
+    """Same invariant inside one process (thread-lock path)."""
+    import threading
+
+    path = tmp_path / "tuning_cache.json"
+    cache = TuningCache(path)
+    barrier = threading.Barrier(4)
+
+    def writer(t):
+        barrier.wait(timeout=10)
+        for i in range(KEYS_PER_PROC):
+            cache.put(f"t{t}:k{i}", {"t": t, "i": i})
+
+    threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join(timeout=30)
+    assert len(cache) == 4 * KEYS_PER_PROC
